@@ -1,0 +1,37 @@
+// Ablation: PBSR bit budget — the coverage-vs-bitmap-size trade-off of
+// paper §4.2. Tighter budgets shrink the downstream payload at the cost of
+// coarser safe regions (more client reports).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace salarm;
+
+int main() {
+  core::ExperimentConfig cfg = bench::default_config();
+  bench::print_banner("Ablation", "PBSR bit budget (h=5)", cfg);
+
+  core::Experiment experiment(cfg);
+  std::printf("%-14s %12s %18s %18s\n", "budget(bits)", "messages",
+              "avg payload (B)", "downstream (KB)");
+  for (const std::size_t budget : {128u, 256u, 512u, 2048u, 8192u, 0u}) {
+    saferegion::PyramidConfig pyramid;
+    pyramid.height = 5;
+    pyramid.max_bits = budget;
+    const auto run = experiment.simulation().run(experiment.bitmap(pyramid));
+    bench::require_perfect(run);
+    char label[32];
+    if (budget == 0) {
+      std::snprintf(label, sizeof label, "unlimited");
+    } else {
+      std::snprintf(label, sizeof label, "%zu", budget);
+    }
+    std::printf("%-14s %12s %18.0f %18.1f\n", label,
+                bench::with_commas(run.metrics.uplink_messages).c_str(),
+                run.metrics.region_payload_bytes.mean(),
+                static_cast<double>(run.metrics.downstream_region_bytes) /
+                    1024.0);
+  }
+  return 0;
+}

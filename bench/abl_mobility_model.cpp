@@ -1,0 +1,58 @@
+// Ablation: mobility model — road-network trips (the paper's workload)
+// vs the classic random-waypoint model on the same alarm field.
+//
+// Separates what depends on road structure from what holds for any
+// motion: safe regions help either way, but road-constrained vehicles
+// revisit the same corridors and exhibit heading persistence, which the
+// rectangular regions (stretched along the motion direction) exploit.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "mobility/random_waypoint.h"
+#include "strategies/rect_region_strategy.h"
+
+using namespace salarm;
+
+int main() {
+  core::ExperimentConfig cfg = bench::default_config();
+  bench::print_banner("Ablation", "road-network vs random-waypoint mobility",
+                      cfg);
+
+  // Road-network workload via the standard experiment.
+  core::Experiment experiment(cfg);
+  const saferegion::MotionModel model(1.0, 32);
+  const auto road = experiment.simulation().run(experiment.rect(model));
+  bench::require_perfect(road);
+
+  // Random-waypoint workload over the identical alarm store and grid.
+  mobility::RandomWaypointConfig rw;
+  rw.vehicle_count = cfg.vehicles;
+  rw.tick_seconds = cfg.tick_seconds;
+  rw.seed = cfg.seed * 104729 + 2;
+  mobility::RandomWaypointSource source(experiment.grid().universe(), rw);
+  sim::Simulation waypoint_sim(source, experiment.store(),
+                               experiment.grid(), cfg.ticks());
+  const auto waypoint = waypoint_sim.run([&](sim::Server& server) {
+    return std::make_unique<strategies::RectRegionStrategy>(
+        server, cfg.vehicles, model);
+  });
+  bench::require_perfect(waypoint);
+
+  std::printf("%-18s %12s %12s %12s\n", "mobility", "messages", "triggers",
+              "msgs/sample%");
+  const double samples =
+      static_cast<double>(cfg.vehicles) * static_cast<double>(cfg.ticks());
+  std::printf("%-18s %12s %12s %11.2f%%\n", "road network",
+              bench::with_commas(road.metrics.uplink_messages).c_str(),
+              bench::with_commas(road.metrics.triggers).c_str(),
+              100.0 * static_cast<double>(road.metrics.uplink_messages) /
+                  samples);
+  std::printf("%-18s %12s %12s %11.2f%%\n", "random waypoint",
+              bench::with_commas(waypoint.metrics.uplink_messages).c_str(),
+              bench::with_commas(waypoint.metrics.triggers).c_str(),
+              100.0 * static_cast<double>(waypoint.metrics.uplink_messages) /
+                  samples);
+  std::printf("\nboth run at 100%% accuracy; the safe-region architecture "
+              "is mobility-model\nagnostic.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation: MWPSR step-4 assembly — the paper's greedy heuristic vs
+// exhaustive enumeration, with and without the area tie-break (DESIGN.md
+// "Reconstruction decisions"). Shows why the library defaults to
+// auto-exhaustive with eps=0.5: the pure greedy/pure-perimeter variants
+// produce needle-shaped regions that get crossed in a tick or two, costing
+// messages.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace salarm;
+
+int main() {
+  core::ExperimentConfig cfg = bench::default_config();
+  bench::print_banner("Ablation", "MWPSR assembly mode and area tie-break",
+                      cfg);
+
+  struct Variant {
+    const char* label;
+    saferegion::MwpsrAssembly assembly;
+    double eps;
+  };
+  const std::vector<Variant> variants{
+      {"greedy, eps=0 (paper step 4)", saferegion::MwpsrAssembly::kGreedy,
+       0.0},
+      {"exhaustive, eps=0", saferegion::MwpsrAssembly::kExhaustive, 0.0},
+      {"greedy, eps=0.5", saferegion::MwpsrAssembly::kGreedy, 0.5},
+      {"exhaustive, eps=0.5 (default)",
+       saferegion::MwpsrAssembly::kExhaustive, 0.5},
+  };
+
+  core::Experiment experiment(cfg);
+  std::printf("%-32s %12s %16s %14s\n", "variant", "messages",
+              "region ops", "recomputes");
+  for (const Variant& v : variants) {
+    saferegion::MwpsrOptions options;
+    options.assembly = v.assembly;
+    options.area_tiebreak_epsilon = v.eps;
+    const auto run = experiment.simulation().run(
+        experiment.rect(saferegion::MotionModel(1.0, 32), options));
+    bench::require_perfect(run);
+    std::printf("%-32s %12s %16s %14s\n", v.label,
+                bench::with_commas(run.metrics.uplink_messages).c_str(),
+                bench::with_commas(run.metrics.server_region_ops).c_str(),
+                bench::with_commas(run.metrics.safe_region_recomputes).c_str());
+  }
+  return 0;
+}

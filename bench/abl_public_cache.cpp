@@ -1,0 +1,44 @@
+// Ablation: precomputed public-alarm bitmaps (paper §4.2: "PBSR approach
+// can be optimized by precomputing the bitmap at each level for public
+// alarms"). The subscriber-independent public bitmap is built once per
+// grid cell and intersected with each subscriber's (usually empty)
+// private-alarm bitmap, cutting the dominant share of PBSR's safe-region
+// computation at identical accuracy.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sim/cost_model.h"
+
+using namespace salarm;
+
+int main() {
+  const core::ExperimentConfig base = bench::default_config();
+  bench::print_banner("Ablation", "PBSR precomputed public bitmaps (h=5)",
+                      base);
+
+  const sim::CostModel cost;
+  std::printf("%-10s %-10s %12s %16s %18s\n", "public%", "cache",
+              "messages", "region ops", "region time (min)");
+  for (const double p : {1.0, 10.0, 20.0}) {
+    core::ExperimentConfig cfg = base;
+    cfg.public_percent = p;
+    core::Experiment experiment(cfg);
+    saferegion::PyramidConfig pyramid;
+    pyramid.height = 5;
+    const auto plain =
+        experiment.simulation().run(experiment.bitmap(pyramid));
+    const auto cached =
+        experiment.simulation().run(experiment.bitmap_cached(pyramid));
+    bench::require_perfect(plain);
+    bench::require_perfect(cached);
+    std::printf("%-10.0f %-10s %12s %16s %18.4f\n", p, "off",
+                bench::with_commas(plain.metrics.uplink_messages).c_str(),
+                bench::with_commas(plain.metrics.server_region_ops).c_str(),
+                cost.server_region_minutes(plain.metrics));
+    std::printf("%-10.0f %-10s %12s %16s %18.4f\n", p, "on",
+                bench::with_commas(cached.metrics.uplink_messages).c_str(),
+                bench::with_commas(cached.metrics.server_region_ops).c_str(),
+                cost.server_region_minutes(cached.metrics));
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation: pyramid fan-out U x V — 2x2 / 3x3 (paper's Figure 3) / 4x4 at
+// depths chosen to reach a comparable leaf resolution, trading bitmap size
+// against messages.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace salarm;
+
+int main() {
+  core::ExperimentConfig cfg = bench::default_config();
+  bench::print_banner("Ablation", "pyramid fan-out at comparable resolution",
+                      cfg);
+
+  struct Variant {
+    const char* label;
+    int fanout;
+    int height;  // leaf cell ~ cell / fanout^height per axis
+  };
+  // 2^8 = 256, 3^5 = 243, 4^4 = 256: comparable leaf resolutions.
+  const std::vector<Variant> variants{
+      {"2x2, h=8", 2, 8}, {"3x3, h=5 (default)", 3, 5}, {"4x4, h=4", 4, 4}};
+
+  core::Experiment experiment(cfg);
+  std::printf("%-22s %12s %18s %16s\n", "variant", "messages",
+              "avg payload (B)", "region ops");
+  for (const Variant& v : variants) {
+    saferegion::PyramidConfig pyramid;
+    pyramid.fanout_u = v.fanout;
+    pyramid.fanout_v = v.fanout;
+    pyramid.height = v.height;
+    const auto run = experiment.simulation().run(experiment.bitmap(pyramid));
+    bench::require_perfect(run);
+    std::printf("%-22s %12s %18.0f %16s\n", v.label,
+                bench::with_commas(run.metrics.uplink_messages).c_str(),
+                run.metrics.region_payload_bytes.mean(),
+                bench::with_commas(run.metrics.server_region_ops).c_str());
+  }
+  return 0;
+}

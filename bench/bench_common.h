@@ -1,0 +1,74 @@
+// Shared harness for the figure-reproduction benches.
+//
+// Each bench binary reproduces one table/figure of the paper's §5: it
+// builds the workload via core::Experiment, runs the strategies the figure
+// compares, and prints the same rows/series the paper reports, plus the
+// measured accuracy (which must always be 100%). Scale defaults are reduced
+// from the paper's 10,000 vehicles × 1 h; set SALARM_FULL=1 (or
+// SALARM_VEHICLES / SALARM_MINUTES / SALARM_ALARMS / SALARM_SEED) to change
+// them — see core/experiment.h.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.h"
+#include "sim/cost_model.h"
+#include "sim/simulation.h"
+
+namespace salarm::bench {
+
+/// Default bench workload: same densities as the paper (≈10 alarms/km²,
+/// ≈10 vehicles/km²) on a quarter-size map for interactive turnaround.
+inline core::ExperimentConfig default_config() {
+  core::ExperimentConfig cfg;
+  cfg.universe_km = 16.0;
+  cfg.vehicles = 400;
+  cfg.minutes = 8.0;
+  cfg.alarm_count = 2560;  // 10 per km²
+  cfg.public_percent = 10.0;
+  cfg.grid_cell_sqkm = 2.5;
+  cfg.seed = 42;
+  return cfg.with_env_overrides();
+}
+
+/// Prints the standard workload banner.
+inline void print_banner(const char* figure, const char* description,
+                         const core::ExperimentConfig& cfg) {
+  std::printf("== %s — %s ==\n", figure, description);
+  std::printf(
+      "workload: %.0f km^2, %zu vehicles, %.0f min @ %.0f Hz, %zu alarms "
+      "(%.0f%% public), cell %.2f km^2, seed %llu\n\n",
+      cfg.universe_km * cfg.universe_km, cfg.vehicles, cfg.minutes,
+      1.0 / cfg.tick_seconds, cfg.alarm_count, cfg.public_percent,
+      cfg.grid_cell_sqkm, static_cast<unsigned long long>(cfg.seed));
+}
+
+/// Formats counts with thousands separators for readability.
+inline std::string with_commas(std::uint64_t v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+/// Aborts the bench loudly if a run missed or mistimed any trigger — the
+/// paper requires 100% accuracy from every approach.
+inline void require_perfect(const sim::RunResult& run) {
+  if (!run.accuracy.perfect()) {
+    std::fprintf(stderr,
+                 "ACCURACY VIOLATION in %s: expected=%zu missed=%zu "
+                 "spurious=%zu late=%zu\n",
+                 run.strategy.c_str(), run.accuracy.expected,
+                 run.accuracy.missed, run.accuracy.spurious,
+                 run.accuracy.late);
+    std::abort();
+  }
+}
+
+}  // namespace salarm::bench

@@ -1,0 +1,33 @@
+// Figure 1(b): the steady-motion probability density p(phi) for y=1 and
+// z in {2, 4, 8} (reconstruction documented in DESIGN.md).
+//
+// Paper shape: peak at phi=0 of roughly 0.24 / 0.20 / 0.18 for z=2/4/8,
+// constant plateau on |phi| <= pi/z, stepping down to a floor below the
+// uniform density 1/2pi ~ 0.159 at |phi| = pi.
+#include <cmath>
+#include <cstdio>
+
+#include "saferegion/motion_model.h"
+
+using namespace salarm;
+
+int main() {
+  std::printf("== Figure 1(b) — steady-motion pdf p(phi), y = 1 ==\n\n");
+  std::printf("%-10s %10s %10s %10s %10s\n", "phi/pi", "z=2", "z=4", "z=8",
+              "uniform");
+  const saferegion::MotionModel m2(1.0, 2);
+  const saferegion::MotionModel m4(1.0, 4);
+  const saferegion::MotionModel m8(1.0, 8);
+  for (double f = -1.0; f <= 1.0001; f += 0.125) {
+    const double phi = f * M_PI;
+    std::printf("%-10.3f %10.4f %10.4f %10.4f %10.4f\n", f, m2.pdf(phi),
+                m4.pdf(phi), m8.pdf(phi), 1.0 / (2.0 * M_PI));
+  }
+  std::printf("\npeaks: z=2 %.4f, z=4 %.4f, z=8 %.4f  (paper: ~0.24 / ~0.20 "
+              "/ ~0.18)\n",
+              m2.pdf(0.0), m4.pdf(0.0), m8.pdf(0.0));
+  std::printf("normalization: z=2 %.6f, z=4 %.6f, z=8 %.6f (must be 1)\n",
+              m2.mass(-M_PI, M_PI), m4.mass(-M_PI, M_PI),
+              m8.mass(-M_PI, M_PI));
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 4(a): number of client-to-server messages for the rectangular
+// safe-region approach, as grid cell size varies, comparing the
+// non-weighted perimeter baseline against the weighted approach with
+// steadiness (y=1, z in {4, 16, 32}).
+//
+// Paper shape: the weighted approach consistently (if slightly) beats the
+// non-weighted one; messages fall as cells grow; every variant needs <3%
+// of the raw location samples.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace salarm;
+
+int main() {
+  const core::ExperimentConfig base = bench::default_config();
+  bench::print_banner("Figure 4(a)",
+                      "client-to-server messages, rectangular safe regions",
+                      base);
+
+  const std::vector<double> cell_sizes{0.4, 0.625, 1.11, 2.5, 10.0};
+  struct Variant {
+    const char* label;
+    bool weighted;
+    int z;
+  };
+  const std::vector<Variant> variants{{"non-weighted", false, 2},
+                                      {"y=1,z=4", true, 4},
+                                      {"y=1,z=16", true, 16},
+                                      {"y=1,z=32", true, 32}};
+
+  std::printf("%-12s", "cell(km^2)");
+  for (const Variant& v : variants) std::printf(" %14s", v.label);
+  std::printf(" %14s\n", "% of samples");
+
+  for (const double cell : cell_sizes) {
+    core::ExperimentConfig cfg = base;
+    cfg.grid_cell_sqkm = cell;
+    core::Experiment experiment(cfg);
+    const double samples = static_cast<double>(cfg.vehicles) *
+                           static_cast<double>(experiment.simulation().ticks());
+
+    std::printf("%-12.3f", cell);
+    double weighted_z32_msgs = 0.0;
+    for (const Variant& v : variants) {
+      saferegion::MwpsrOptions options;
+      options.weighted = v.weighted;
+      const auto run = experiment.simulation().run(
+          experiment.rect(saferegion::MotionModel(1.0, v.z), options));
+      bench::require_perfect(run);
+      std::printf(" %14s",
+                  bench::with_commas(run.metrics.uplink_messages).c_str());
+      weighted_z32_msgs = static_cast<double>(run.metrics.uplink_messages);
+    }
+    std::printf(" %13.2f%%\n", 100.0 * weighted_z32_msgs / samples);
+  }
+
+  std::printf(
+      "\npaper: weighted <= non-weighted at every cell size; messages fall "
+      "with cell size;\n       <3%% of the 60M raw samples ever reach the "
+      "server.\n");
+  return 0;
+}

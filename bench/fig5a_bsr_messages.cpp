@@ -1,0 +1,53 @@
+// Figure 5(a): number of client-to-server messages for the bitmap-encoded
+// safe region approaches as the pyramid height grows from h=1 (GBSR) to
+// h=7 (PBSR), for 1%, 10% and 20% public alarms.
+//
+// Paper shape: GBSR (h=1) is highly inefficient — its coarse bitmap forces
+// frequent location messages; messages drop sharply as h grows; the
+// approach is sensitive to alarm density (more public alarms → more
+// messages at every height).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace salarm;
+
+int main() {
+  const core::ExperimentConfig base = bench::default_config();
+  bench::print_banner("Figure 5(a)",
+                      "client-to-server messages, GBSR/PBSR height sweep",
+                      base);
+
+  const std::vector<double> public_percents{1.0, 10.0, 20.0};
+
+  std::printf("%-8s", "height");
+  for (const double p : public_percents) {
+    std::printf("   %3.0f%% public", p);
+  }
+  std::printf("\n");
+
+  for (int height = 1; height <= 7; ++height) {
+    std::printf("h=%-6d", height);
+    for (const double p : public_percents) {
+      core::ExperimentConfig cfg = base;
+      cfg.public_percent = p;
+      core::Experiment experiment(cfg);
+      saferegion::PyramidConfig pyramid;
+      pyramid.height = height;
+      // Height is the swept variable here (the paper's Figure 5 study);
+      // disable the bit budget so it cannot mask the height effect.
+      pyramid.max_bits = 0;
+      const auto run =
+          experiment.simulation().run(experiment.bitmap(pyramid));
+      bench::require_perfect(run);
+      std::printf(" %13s",
+                  bench::with_commas(run.metrics.uplink_messages).c_str());
+    }
+    std::printf("%s\n", height == 1 ? "   (GBSR)" : "");
+  }
+  std::printf(
+      "\npaper: sharp drop from h=1; higher public%% -> more messages at "
+      "every height.\n");
+  return 0;
+}

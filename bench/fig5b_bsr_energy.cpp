@@ -1,0 +1,58 @@
+// Figure 5(b): client energy consumption (mWh) used to determine client
+// position within the safe region, for pyramid heights h=1..7 and 1/10/20%
+// public alarms.
+//
+// Paper shape: GBSR needs 2-3 containment detections per second and little
+// energy; cost grows slowly with height at low density and noticeably at
+// 20% public (6-7 detections/second at h=7).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace salarm;
+
+int main() {
+  const core::ExperimentConfig base = bench::default_config();
+  bench::print_banner(
+      "Figure 5(b)",
+      "client energy for containment detection, GBSR/PBSR height sweep",
+      base);
+
+  const sim::CostModel cost;
+  const std::vector<double> public_percents{1.0, 10.0, 20.0};
+
+  std::printf("%-8s", "height");
+  for (const double p : public_percents) {
+    std::printf("  %3.0f%% mWh (ops/s/client)", p);
+  }
+  std::printf("\n");
+
+  for (int height = 1; height <= 7; ++height) {
+    std::printf("h=%-6d", height);
+    for (const double p : public_percents) {
+      core::ExperimentConfig cfg = base;
+      cfg.public_percent = p;
+      core::Experiment experiment(cfg);
+      saferegion::PyramidConfig pyramid;
+      pyramid.height = height;
+      // Height is the swept variable here (the paper's Figure 5 study);
+      // disable the bit budget so it cannot mask the height effect.
+      pyramid.max_bits = 0;
+      const auto run =
+          experiment.simulation().run(experiment.bitmap(pyramid));
+      bench::require_perfect(run);
+      const double ops_per_second_per_client =
+          static_cast<double>(run.metrics.client_check_ops) /
+          (run.duration_s * static_cast<double>(run.subscribers));
+      std::printf("  %12.1f (%8.2f)", cost.client_energy_mwh(run.metrics),
+                  ops_per_second_per_client);
+    }
+    std::printf("%s\n", height == 1 ? "  (GBSR)" : "");
+  }
+  std::printf(
+      "\npaper: ~2-3 detections/s at h=1 and low density; 6-7/s at h=7 with "
+      "20%% public;\n       energy grows with height and with alarm "
+      "density.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 6(d): server processing time, decomposed into alarm processing
+// and safe-region computation, for PRD / MWPSR / PBSR / SP / OPT at 1% and
+// 10% public alarms.
+//
+// Paper shape: PRD's alarm-processing cost towers over everything and is
+// insensitive to alarm density; MWPSR and PBSR are lowest (PBSR's region
+// computation exceeds MWPSR's at higher density); SP sits between the safe
+// region approaches and PRD; OPT is comparable to the safe-region
+// approaches except at the highest density.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace salarm;
+
+int main() {
+  const core::ExperimentConfig base = bench::default_config();
+  bench::print_banner("Figure 6(d)",
+                      "server processing time (alarm + safe region)", base);
+
+  const sim::CostModel cost;
+  std::printf("%-9s %-10s %16s %18s %12s\n", "public%", "approach",
+              "alarm proc (min)", "safe region (min)", "total (min)");
+
+  for (const double p : {1.0, 10.0}) {
+    core::ExperimentConfig cfg = base;
+    cfg.public_percent = p;
+    core::Experiment experiment(cfg);
+    auto& simulation = experiment.simulation();
+
+    saferegion::PyramidConfig pyramid;
+    pyramid.height = 5;
+    struct Row {
+      const char* label;
+      sim::RunResult run;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"PR", simulation.run(experiment.periodic())});
+    rows.push_back(
+        {"MW", simulation.run(experiment.rect(saferegion::MotionModel(1.0, 32)))});
+    rows.push_back({"PB", simulation.run(experiment.bitmap(pyramid))});
+    rows.push_back({"SP", simulation.run(experiment.safe_period())});
+    rows.push_back({"OP", simulation.run(experiment.optimal())});
+
+    for (const Row& row : rows) {
+      bench::require_perfect(row.run);
+      std::printf("%-9.0f %-10s %16.4f %18.4f %12.4f\n", p, row.label,
+                  cost.server_alarm_minutes(row.run.metrics),
+                  cost.server_region_minutes(row.run.metrics),
+                  cost.server_total_minutes(row.run.metrics));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "paper: PR highest and density-insensitive; MW/PB lowest; SP between; "
+      "PB region\n       computation > MW at higher density.\n");
+  return 0;
+}

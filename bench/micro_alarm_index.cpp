@@ -1,0 +1,107 @@
+// Micro-benchmarks (google-benchmark): R*-tree vs grid-bucket alarm index
+// on the server's two hot queries — point (alarm processing) and window
+// (safe-region computation) — at the paper's alarm density.
+#include <benchmark/benchmark.h>
+
+#include "alarms/grid_index.h"
+#include "common/rng.h"
+#include "index/rstar_tree.h"
+
+namespace {
+
+using salarm::Rng;
+using salarm::alarms::AlarmId;
+using salarm::alarms::GridAlarmIndex;
+using salarm::geo::Point;
+using salarm::geo::Rect;
+using salarm::grid::GridOverlay;
+using salarm::index::Entry;
+using salarm::index::RStarTree;
+
+const Rect kUniverse(0, 0, 32000, 32000);
+
+Rect random_alarm(Rng& rng) {
+  const Point c{rng.uniform(300, 31700), rng.uniform(300, 31700)};
+  return Rect::centered_square(c, rng.uniform(100, 500));
+}
+
+void BM_TreePoint(benchmark::State& state) {
+  Rng rng(7);
+  RStarTree tree;
+  for (AlarmId i = 0; i < state.range(0); ++i) {
+    tree.insert({random_alarm(rng), i});
+  }
+  Rng qrng(9);
+  for (auto _ : state) {
+    const Point p{qrng.uniform(0, 32000), qrng.uniform(0, 32000)};
+    std::size_t hits = 0;
+    tree.visit(Rect(p, p), [&](const Entry&) {
+      ++hits;
+      return true;
+    });
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_TreePoint)->Arg(10000);
+
+void BM_GridPoint(benchmark::State& state) {
+  Rng rng(7);
+  GridOverlay overlay(kUniverse, 64, 64);  // 500 m buckets
+  GridAlarmIndex index(overlay);
+  for (AlarmId i = 0; i < state.range(0); ++i) {
+    index.insert(i, random_alarm(rng));
+  }
+  Rng qrng(9);
+  for (auto _ : state) {
+    const Point p{qrng.uniform(0, 32000), qrng.uniform(0, 32000)};
+    benchmark::DoNotOptimize(index.containing(p).size());
+  }
+}
+BENCHMARK(BM_GridPoint)->Arg(10000);
+
+void BM_TreeWindow(benchmark::State& state) {
+  Rng rng(7);
+  RStarTree tree;
+  for (AlarmId i = 0; i < state.range(0); ++i) {
+    tree.insert({random_alarm(rng), i});
+  }
+  Rng qrng(11);
+  for (auto _ : state) {
+    const Point c{qrng.uniform(0, 32000), qrng.uniform(0, 32000)};
+    const auto window =
+        Rect::centered_square(c, 1581.0).intersection(kUniverse);
+    std::size_t hits = 0;
+    tree.visit(*window, [&](const Entry&) {
+      ++hits;
+      return true;
+    });
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_TreeWindow)->Arg(10000);
+
+void BM_GridWindow(benchmark::State& state) {
+  Rng rng(7);
+  GridOverlay overlay(kUniverse, 64, 64);
+  GridAlarmIndex index(overlay);
+  for (AlarmId i = 0; i < state.range(0); ++i) {
+    index.insert(i, random_alarm(rng));
+  }
+  Rng qrng(11);
+  for (auto _ : state) {
+    const Point c{qrng.uniform(0, 32000), qrng.uniform(0, 32000)};
+    const auto window =
+        Rect::centered_square(c, 1581.0).intersection(kUniverse);
+    std::size_t hits = 0;
+    index.visit(*window, [&](AlarmId, const Rect&) {
+      ++hits;
+      return true;
+    });
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_GridWindow)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

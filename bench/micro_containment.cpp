@@ -1,0 +1,72 @@
+// Micro-benchmarks (google-benchmark): the client-side containment checks
+// whose operation counts drive the energy model — rectangle test, pyramid
+// descent, OPT's alarm-list scan.
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "saferegion/pyramid.h"
+
+namespace {
+
+using salarm::Rng;
+using salarm::geo::Point;
+using salarm::geo::Rect;
+using namespace salarm::saferegion;
+
+const Rect kCell(0, 0, 1581, 1581);
+
+std::vector<Rect> cell_alarms(int n) {
+  Rng rng(3);
+  std::vector<Rect> out;
+  while (static_cast<int>(out.size()) < n) {
+    const Point c{rng.uniform(-200, 1781), rng.uniform(-200, 1781)};
+    const Rect a = Rect::centered_square(c, rng.uniform(100, 500));
+    if (a.intersects(kCell)) out.push_back(a);
+  }
+  return out;
+}
+
+void BM_RectContainment(benchmark::State& state) {
+  const Rect region(200, 200, 1200, 1100);
+  Rng rng(5);
+  for (auto _ : state) {
+    const Point p{rng.uniform(0, 1581), rng.uniform(0, 1581)};
+    benchmark::DoNotOptimize(region.contains(p));
+  }
+}
+BENCHMARK(BM_RectContainment);
+
+void BM_PyramidDescent(benchmark::State& state) {
+  PyramidConfig config;
+  config.height = static_cast<int>(state.range(0));
+  const auto bitmap = PyramidBitmap::build(kCell, cell_alarms(4), config);
+  Rng rng(7);
+  std::int64_t levels = 0;
+  for (auto _ : state) {
+    const Point p{rng.uniform(0, 1581), rng.uniform(0, 1581)};
+    const auto c = bitmap.locate(p);
+    levels += c.levels;
+    benchmark::DoNotOptimize(c.safe);
+  }
+  state.counters["avg_levels"] =
+      static_cast<double>(levels) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_PyramidDescent)->Arg(1)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_OptAlarmScan(benchmark::State& state) {
+  const auto alarms = cell_alarms(static_cast<int>(state.range(0)));
+  Rng rng(9);
+  for (auto _ : state) {
+    const Point p{rng.uniform(0, 1581), rng.uniform(0, 1581)};
+    bool hit = false;
+    for (const Rect& a : alarms) hit |= a.interior_contains(p);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_OptAlarmScan)->Arg(3)->Arg(10)->Arg(30);
+
+}  // namespace
+
+BENCHMARK_MAIN();

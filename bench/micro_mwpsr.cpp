@@ -1,0 +1,73 @@
+// Micro-benchmarks (google-benchmark): MWPSR safe-region computation cost
+// versus the number of alarms intersecting the cell, for the greedy and
+// exhaustive assemblies.
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "saferegion/motion_model.h"
+#include "saferegion/mwpsr.h"
+
+namespace {
+
+using salarm::Rng;
+using salarm::geo::Point;
+using salarm::geo::Rect;
+using namespace salarm::saferegion;
+
+std::vector<Rect> cell_alarms(Rng& rng, const Rect& cell, int n) {
+  std::vector<Rect> out;
+  while (static_cast<int>(out.size()) < n) {
+    const Point c{rng.uniform(cell.lo().x - 200, cell.hi().x + 200),
+                  rng.uniform(cell.lo().y - 200, cell.hi().y + 200)};
+    const Rect a = Rect::centered_square(c, rng.uniform(100, 500));
+    if (a.intersects(cell)) out.push_back(a);
+  }
+  return out;
+}
+
+void run_mwpsr(benchmark::State& state, MwpsrAssembly assembly) {
+  const Rect cell(0, 0, 1581, 1581);  // 2.5 km^2
+  Rng rng(3);
+  const auto alarms = cell_alarms(rng, cell, static_cast<int>(state.range(0)));
+  const MotionModel model(1.0, 32);
+  MwpsrOptions options;
+  options.assembly = assembly;
+  Rng prng(5);
+  for (auto _ : state) {
+    Point p;
+    do {
+      p = {prng.uniform(0, 1581), prng.uniform(0, 1581)};
+    } while ([&] {
+      for (const Rect& a : alarms) {
+        if (a.interior_contains(p)) return true;
+      }
+      return false;
+    }());
+    const auto region =
+        compute_mwpsr(p, prng.uniform(-3.14, 3.14), cell, alarms, model,
+                      options);
+    benchmark::DoNotOptimize(region.rect.area());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_MwpsrGreedy(benchmark::State& state) {
+  run_mwpsr(state, MwpsrAssembly::kGreedy);
+}
+BENCHMARK(BM_MwpsrGreedy)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_MwpsrExhaustive(benchmark::State& state) {
+  run_mwpsr(state, MwpsrAssembly::kExhaustive);
+}
+BENCHMARK(BM_MwpsrExhaustive)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_MwpsrAuto(benchmark::State& state) {
+  run_mwpsr(state, MwpsrAssembly::kAuto);
+}
+BENCHMARK(BM_MwpsrAuto)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

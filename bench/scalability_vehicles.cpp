@@ -1,0 +1,38 @@
+// Scalability study: server load vs. population (the paper's motivation —
+// "with increasing number of users ... the alarm processing server may
+// become a bottleneck"). Sweeps the vehicle count and reports modeled
+// server minutes for the server-centric PRD against the distributed
+// MWPSR; the gap is the scalability headroom the safe-region architecture
+// buys.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace salarm;
+
+int main() {
+  const core::ExperimentConfig base = bench::default_config();
+  bench::print_banner("Scalability", "server load vs. vehicle count", base);
+
+  const sim::CostModel cost;
+  std::printf("%-10s %14s %14s %10s\n", "vehicles", "PRD (min)",
+              "MWPSR (min)", "ratio");
+  for (const std::size_t vehicles : {100u, 200u, 400u, 800u}) {
+    core::ExperimentConfig cfg = base;
+    cfg.vehicles = vehicles;
+    core::Experiment experiment(cfg);
+    const auto prd = experiment.simulation().run(experiment.periodic());
+    const auto mwpsr = experiment.simulation().run(
+        experiment.rect(saferegion::MotionModel(1.0, 32)));
+    bench::require_perfect(prd);
+    bench::require_perfect(mwpsr);
+    const double prd_min = cost.server_total_minutes(prd.metrics);
+    const double mwpsr_min = cost.server_total_minutes(mwpsr.metrics);
+    std::printf("%-10zu %14.4f %14.4f %9.1fx\n", vehicles, prd_min,
+                mwpsr_min, prd_min / mwpsr_min);
+  }
+  std::printf("\nboth scale linearly in population, but the distributed "
+              "architecture's slope is\nan order of magnitude lower — the "
+              "throughput headroom the paper argues for.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Fleet geofencing: a delivery fleet moves on a synthetic road network;
+// dispatch installs shared geofence alarms around depots and customer
+// sites. Every vehicle runs the safe-region protocol through the public
+// API (ClientMonitor), and the example reports how much communication the
+// distributed architecture saves versus naive periodic reporting.
+//
+//   $ ./build/examples/geofence_fleet
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/client_monitor.h"
+#include "core/spatial_alarm_service.h"
+#include "mobility/trace_generator.h"
+#include "roadnet/network_builder.h"
+
+using namespace salarm;
+
+int main() {
+  // Road network and fleet.
+  roadnet::NetworkConfig net_cfg;
+  net_cfg.width_m = 12000;
+  net_cfg.height_m = 12000;
+  Rng rng(2024);
+  const auto network = roadnet::build_synthetic_network(net_cfg, rng);
+
+  mobility::TraceConfig trace_cfg;
+  trace_cfg.vehicle_count = 60;
+  trace_cfg.seed = 7;
+  mobility::TraceGenerator fleet(network, trace_cfg);
+
+  // Server with geofences: 25 customer sites (shared by dispatch = owner 0
+  // and every driver 0..59) and 2 public hazard zones.
+  core::SpatialAlarmService::Config cfg;
+  cfg.universe = network.bounding_box();
+  core::SpatialAlarmService service(cfg);
+
+  std::vector<alarms::SubscriberId> all_drivers;
+  for (alarms::SubscriberId d = 0; d < trace_cfg.vehicle_count; ++d) {
+    all_drivers.push_back(d);
+  }
+  Rng sites(99);
+  for (int i = 0; i < 25; ++i) {
+    const geo::Point c{sites.uniform(500, 11500), sites.uniform(500, 11500)};
+    service.install(alarms::AlarmScope::kShared, 0,
+                    geo::Rect::centered_square(c, sites.uniform(150, 400)),
+                    all_drivers);
+  }
+  for (int i = 0; i < 2; ++i) {
+    const geo::Point c{sites.uniform(2000, 10000), sites.uniform(2000, 10000)};
+    service.install(alarms::AlarmScope::kPublic, 0,
+                    geo::Rect::centered_square(c, 800));
+  }
+
+  // Drive 20 simulated minutes.
+  std::vector<core::ClientMonitor> monitors(trace_cfg.vehicle_count);
+  std::size_t reports = 0;
+  std::size_t arrivals = 0;
+  std::uint64_t downstream_bytes = 0;
+  const int ticks = 20 * 60;
+  for (int t = 0; t < ticks; ++t) {
+    fleet.step();
+    for (mobility::VehicleId v = 0; v < trace_cfg.vehicle_count; ++v) {
+      const auto& sample = fleet.samples()[v];
+      if (!monitors[v].should_report(sample.pos)) continue;
+      ++reports;
+      const auto update = service.process_update(
+          v, sample.pos, sample.heading, static_cast<std::uint64_t>(t));
+      downstream_bytes += update.safe_region_message.size();
+      monitors[v].receive(update.safe_region_message);
+      arrivals += update.fired.size();
+    }
+  }
+
+  const auto samples = static_cast<double>(ticks) * trace_cfg.vehicle_count;
+  std::printf("fleet of %zu vehicles, %d minutes on a %.0f km^2 network\n",
+              trace_cfg.vehicle_count, ticks / 60,
+              network.bounding_box().area() / 1e6);
+  std::printf("geofence arrivals detected: %zu\n", arrivals);
+  std::printf("position fixes:   %12.0f\n", samples);
+  std::printf("server contacts:  %12zu  (%.2f%% — periodic would send "
+              "100%%)\n",
+              reports, 100.0 * static_cast<double>(reports) / samples);
+  std::printf("downstream bytes: %12llu  (safe regions)\n",
+              static_cast<unsigned long long>(downstream_bytes));
+  return arrivals > 0 ? 0 : 1;
+}

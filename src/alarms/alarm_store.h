@@ -1,0 +1,139 @@
+// Server-side alarm storage: the installed-alarm set, the R*-tree index
+// over alarm regions (paper §5.1), relevance filtering, and one-shot
+// trigger bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "alarms/spatial_alarm.h"
+#include "common/rng.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "index/rstar_tree.h"
+
+namespace salarm::alarms {
+
+/// Parameters of the paper's default alarm workload (§5.1): alarms on
+/// targets distributed uniformly over the map; a percentage are public,
+/// the rest private and shared in ratio 2:1.
+struct AlarmWorkloadConfig {
+  std::size_t alarm_count = 10000;
+  std::size_t subscriber_count = 10000;
+  double public_fraction = 0.10;
+  /// private : shared ratio among non-public alarms (paper: 2:1).
+  double private_to_shared = 2.0;
+  /// Alarm regions are squares with side drawn uniformly from this range
+  /// (meters).
+  double region_side_lo = 100.0;
+  double region_side_hi = 500.0;
+  /// Shared alarms authorize between these many subscribers (inclusive),
+  /// owner included.
+  std::size_t shared_subscribers_lo = 2;
+  std::size_t shared_subscribers_hi = 5;
+};
+
+/// Holds all installed alarms and answers the server's spatial questions.
+/// The R*-tree node-access counter doubles as the alarm-processing cost
+/// meter for the server cost model.
+class AlarmStore {
+ public:
+  explicit AlarmStore(std::size_t rtree_node_capacity = 16);
+
+  /// Installs an alarm; its id must be unique within the store. The region
+  /// must have positive area. Subscriber lists are kept sorted.
+  void install(SpatialAlarm alarm);
+
+  /// Installs a whole workload at once (ids dense from the current size),
+  /// bulk-loading the R*-tree with STR packing — the right way to stand up
+  /// the paper's 10,000-alarm index at startup. Only valid on an empty
+  /// store.
+  void install_bulk(std::vector<SpatialAlarm> alarms);
+
+  /// Uninstalls an alarm; returns false if absent.
+  bool uninstall(AlarmId id);
+
+  /// Moves an alarm's region (the paper's moving-target alarm classes:
+  /// the target publishes a new position, the alarm region follows).
+  /// Trigger state is preserved: subscribers for whom the alarm already
+  /// fired stay spent. Requires the alarm to be installed and the new
+  /// region to have positive area.
+  void move_alarm(AlarmId id, const geo::Rect& new_region);
+
+  std::size_t size() const { return alarms_.size(); }
+  const SpatialAlarm& alarm(AlarmId id) const;
+  const std::vector<SpatialAlarm>& all() const { return alarms_; }
+
+  /// True when the alarm applies to the subscriber (public, or subscriber
+  /// on the list) and has not yet fired for them.
+  bool relevant(const SpatialAlarm& alarm, SubscriberId s) const;
+
+  /// True when the alarm applies to the subscriber regardless of spent
+  /// state (used by workload statistics).
+  static bool subscribed(const SpatialAlarm& alarm, SubscriberId s);
+
+  /// All alarms relevant to s whose region (closed) intersects the window.
+  /// Pointers remain valid until the next install/uninstall.
+  std::vector<const SpatialAlarm*> relevant_in_window(const geo::Rect& window,
+                                                      SubscriberId s) const;
+
+  /// As relevant_in_window, but only the subscriber's private/shared
+  /// alarms (public excluded). Used by the precomputed-public-bitmap path
+  /// (paper §4.2).
+  std::vector<const SpatialAlarm*> relevant_nonpublic_in_window(
+      const geo::Rect& window, SubscriberId s) const;
+
+  /// All public alarms intersecting the window, regardless of per-
+  /// subscriber spent state (the subscriber-independent input to the
+  /// precomputed public bitmap).
+  std::vector<const SpatialAlarm*> public_in_window(
+      const geo::Rect& window) const;
+
+  /// Server-side alarm processing of one position update: fires every
+  /// relevant alarm whose region contains p, marks the pairs spent, and
+  /// returns the fired alarm ids (empty in the common case).
+  std::vector<AlarmId> process_position(SubscriberId s, geo::Point p,
+                                        std::uint64_t tick,
+                                        std::vector<TriggerEvent>* log);
+
+  /// Marks an (alarm, subscriber) pair spent without going through
+  /// process_position; used by client-side evaluation strategies (OPT)
+  /// when the client reports a trigger.
+  void mark_spent(AlarmId id, SubscriberId s);
+
+  bool spent(AlarmId id, SubscriberId s) const;
+
+  /// Forgets all trigger state (the alarm set itself is kept); used to run
+  /// several strategies against the identical workload.
+  void reset_triggers();
+
+  /// Distance from p to the nearest relevant alarm region for s
+  /// (infinity when none); drives the safe-period baseline.
+  double nearest_relevant_distance(geo::Point p, SubscriberId s) const;
+
+  /// Cumulative R*-tree node accesses (alarm processing + NN); the server
+  /// cost model reads and resets this.
+  std::uint64_t index_node_accesses() const { return tree_.node_accesses(); }
+  void reset_index_node_accesses() { tree_.reset_node_accesses(); }
+
+ private:
+  std::uint64_t spend_key(AlarmId a, SubscriberId s) const {
+    return (static_cast<std::uint64_t>(a) << 32) | s;
+  }
+
+  std::vector<SpatialAlarm> alarms_;        // indexed by AlarmId
+  std::vector<bool> installed_;             // tombstones for uninstall
+  std::size_t rtree_node_capacity_;
+  index::RStarTree tree_;
+  std::unordered_set<std::uint64_t> spent_;
+};
+
+/// Generates the paper's default workload. Targets are uniform over
+/// `universe`; ids are dense [0, alarm_count).
+std::vector<SpatialAlarm> generate_alarm_workload(
+    const AlarmWorkloadConfig& config, const geo::Rect& universe, Rng& rng);
+
+}  // namespace salarm::alarms

@@ -1,0 +1,63 @@
+#include "alarms/grid_index.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace salarm::alarms {
+
+GridAlarmIndex::GridAlarmIndex(const grid::GridOverlay& overlay)
+    : overlay_(overlay), buckets_(overlay.cell_count()) {}
+
+void GridAlarmIndex::insert(AlarmId id, const geo::Rect& region) {
+  SALARM_REQUIRE(overlay_.universe().contains(region),
+                 "region outside the index universe");
+  for (const grid::CellId cell : overlay_.cells_intersecting(region)) {
+    buckets_[overlay_.flat_index(cell)].push_back({id, region});
+  }
+  if (id >= seen_stamp_.size()) seen_stamp_.resize(id + 1, 0);
+  ++size_;
+}
+
+bool GridAlarmIndex::erase(AlarmId id, const geo::Rect& region) {
+  bool found = false;
+  for (const grid::CellId cell : overlay_.cells_intersecting(region)) {
+    auto& bucket = buckets_[overlay_.flat_index(cell)];
+    const auto it = std::find_if(bucket.begin(), bucket.end(),
+                                 [&](const Entry& e) {
+                                   return e.id == id && e.region == region;
+                                 });
+    if (it != bucket.end()) {
+      bucket.erase(it);
+      found = true;
+    }
+  }
+  if (found) --size_;
+  return found;
+}
+
+void GridAlarmIndex::visit(
+    const geo::Rect& window,
+    const std::function<bool(AlarmId, const geo::Rect&)>& visitor) const {
+  ++stamp_;
+  for (const grid::CellId cell : overlay_.cells_intersecting(window)) {
+    ++bucket_accesses_;
+    for (const Entry& e : buckets_[overlay_.flat_index(cell)]) {
+      if (!e.region.intersects(window)) continue;
+      if (seen_stamp_[e.id] == stamp_) continue;  // already visited
+      seen_stamp_[e.id] = stamp_;
+      if (!visitor(e.id, e.region)) return;
+    }
+  }
+}
+
+std::vector<AlarmId> GridAlarmIndex::containing(geo::Point p) const {
+  std::vector<AlarmId> out;
+  visit(geo::Rect(p, p), [&](AlarmId id, const geo::Rect& region) {
+    if (region.contains(p)) out.push_back(id);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace salarm::alarms

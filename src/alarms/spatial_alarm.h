@@ -1,0 +1,66 @@
+// Spatial alarm model (paper §1).
+//
+// A spatial alarm is defined by three elements: an alarm target (a future
+// location reference, here a rectangular spatial region), an owner (the
+// publisher), and the list of subscribers. Alarms are categorized by
+// publish-subscribe scope:
+//
+//  * private — installed and used exclusively by the publisher;
+//  * shared  — installed by the publisher with a list of authorized
+//              subscribers (the publisher typically among them);
+//  * public  — subscribed to by all mobile users (the paper's
+//              without-loss-of-generality assumption, adopted here).
+//
+// Alarms are one-shot per subscriber: a trigger fires when the subscriber
+// enters the alarm's spatial region, after which the (alarm, subscriber)
+// pair is spent and never constrains that subscriber's safe region again.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/rect.h"
+
+namespace salarm::alarms {
+
+using AlarmId = std::uint32_t;
+using SubscriberId = std::uint32_t;
+
+enum class AlarmScope : std::uint8_t { kPrivate, kShared, kPublic };
+
+struct SpatialAlarm {
+  AlarmId id = 0;
+  AlarmScope scope = AlarmScope::kPrivate;
+  SubscriberId owner = 0;
+  /// The alarm's spatial region: the alarm fires for a subscriber when the
+  /// subscriber's position enters this region.
+  geo::Rect region;
+  /// Explicit subscribers (private: just the owner; shared: the authorized
+  /// list). Empty for public alarms — public alarms apply to everyone.
+  std::vector<SubscriberId> subscribers;
+  /// The alert content delivered when the alarm fires ("alert me when ...",
+  /// a topic digest, a hazard warning). Client-side evaluation (OPT) must
+  /// receive it up front; server-side evaluation ships it only in trigger
+  /// notices — the asymmetry behind Figure 6(b)'s bandwidth gap.
+  std::string message;
+};
+
+/// A trigger event: subscriber s entered alarm a's region at tick t.
+struct TriggerEvent {
+  AlarmId alarm = 0;
+  SubscriberId subscriber = 0;
+  std::uint64_t tick = 0;
+
+  friend bool operator==(const TriggerEvent& x, const TriggerEvent& y) {
+    return x.alarm == y.alarm && x.subscriber == y.subscriber &&
+           x.tick == y.tick;
+  }
+  friend bool operator<(const TriggerEvent& x, const TriggerEvent& y) {
+    if (x.tick != y.tick) return x.tick < y.tick;
+    if (x.subscriber != y.subscriber) return x.subscriber < y.subscriber;
+    return x.alarm < y.alarm;
+  }
+};
+
+}  // namespace salarm::alarms

@@ -1,0 +1,57 @@
+// Bit-level serialization helpers for the bitmap-encoded safe regions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace salarm {
+
+/// Append-only MSB-first bit writer.
+class BitWriter {
+ public:
+  void push(bool bit) {
+    const std::size_t byte = count_ / 8;
+    if (byte == bytes_.size()) bytes_.push_back(0);
+    if (bit) bytes_[byte] |= static_cast<std::uint8_t>(0x80u >> (count_ % 8));
+    ++count_;
+  }
+
+  std::size_t bit_count() const { return count_; }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() && { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t count_ = 0;
+};
+
+/// MSB-first bit reader over a byte span.
+class BitReader {
+ public:
+  BitReader(std::span<const std::uint8_t> bytes, std::size_t bit_count)
+      : bytes_(bytes), bit_count_(bit_count) {
+    SALARM_REQUIRE(bit_count <= bytes.size() * 8,
+                   "bit count exceeds the buffer");
+  }
+
+  bool next() {
+    SALARM_REQUIRE(pos_ < bit_count_, "bit stream exhausted");
+    const bool bit =
+        (bytes_[pos_ / 8] >> (7 - pos_ % 8)) & 1u;
+    ++pos_;
+    return bit;
+  }
+
+  std::size_t remaining() const { return bit_count_ - pos_; }
+  bool exhausted() const { return pos_ == bit_count_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t bit_count_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace salarm

@@ -1,0 +1,63 @@
+// Error-handling helpers shared across salarm.
+//
+// The library follows the C++ Core Guidelines: preconditions are stated and
+// checked at API boundaries (I.5/I.6), and violations surface as exceptions
+// (I.10) so callers cannot silently ignore them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace salarm {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is found broken (a library bug).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+
+/// Check a caller-facing precondition; throws PreconditionError on failure.
+#define SALARM_REQUIRE(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::salarm::detail::throw_precondition(#expr, __FILE__, __LINE__,     \
+                                           (msg));                        \
+    }                                                                     \
+  } while (false)
+
+/// Check an internal invariant; throws InvariantError on failure.
+#define SALARM_ASSERT(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::salarm::detail::throw_invariant(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                     \
+  } while (false)
+
+}  // namespace salarm

@@ -1,0 +1,28 @@
+// Unit conventions and conversion constants.
+//
+// All geometry in salarm is expressed in METERS on a planar Universe of
+// Discourse, all times in SECONDS, speeds in METERS PER SECOND. The paper
+// quotes grid cell sizes in square kilometers and speeds in km/h; these
+// helpers keep the conversions explicit at API boundaries (P.1: express
+// ideas directly in code).
+#pragma once
+
+namespace salarm {
+
+inline constexpr double kMetersPerKm = 1000.0;
+inline constexpr double kSecondsPerMinute = 60.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+
+/// Converts km/h to m/s.
+constexpr double kmh_to_mps(double kmh) { return kmh * kMetersPerKm / kSecondsPerHour; }
+
+/// Converts m/s to km/h.
+constexpr double mps_to_kmh(double mps) { return mps * kSecondsPerHour / kMetersPerKm; }
+
+/// Converts an area in square kilometers to square meters.
+constexpr double sqkm_to_sqm(double sqkm) { return sqkm * kMetersPerKm * kMetersPerKm; }
+
+/// Converts an area in square meters to square kilometers.
+constexpr double sqm_to_sqkm(double sqm) { return sqm / (kMetersPerKm * kMetersPerKm); }
+
+}  // namespace salarm

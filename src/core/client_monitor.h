@@ -1,0 +1,51 @@
+// ClientMonitor — the library's user-facing client (mobile device) API.
+//
+// Consumes the safe-region messages produced by SpatialAlarmService and
+// answers, for each position fix, whether the device must contact the
+// server. This is the whole client half of the paper's distributed
+// architecture: no alarm knowledge, no index — just a containment check
+// against the last received safe region.
+//
+//   ClientMonitor monitor;
+//   monitor.receive(message_from_server);
+//   if (monitor.should_report(fix)) { /* send PositionUpdate */ }
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <variant>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "saferegion/pyramid.h"
+
+namespace salarm::core {
+
+class ClientMonitor {
+ public:
+  /// Decodes a safe-region message (rect or pyramid wire format) and
+  /// replaces the current region. Throws PreconditionError on malformed
+  /// or unexpected message types.
+  void receive(std::span<const std::uint8_t> message);
+
+  /// True when the device must contact the server: it has no region yet,
+  /// or the position left the region (for pyramids: left the base cell or
+  /// stands on an unsafe cell).
+  bool should_report(geo::Point position);
+
+  /// True once a region has been received.
+  bool has_region() const { return !std::holds_alternative<std::monostate>(region_); }
+
+  /// Elementary containment operations performed so far — the client
+  /// energy meter (rect test = 1, pyramid descent = levels visited).
+  std::uint64_t check_ops() const { return check_ops_; }
+  std::uint64_t checks() const { return checks_; }
+
+ private:
+  std::variant<std::monostate, geo::Rect, saferegion::PyramidBitmap> region_;
+  std::uint64_t check_ops_ = 0;
+  std::uint64_t checks_ = 0;
+};
+
+}  // namespace salarm::core

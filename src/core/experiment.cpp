@@ -1,0 +1,174 @@
+#include "core/experiment.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "strategies/bitmap_region_strategy.h"
+#include "strategies/optimal.h"
+#include "strategies/periodic.h"
+#include "strategies/rect_region_strategy.h"
+#include "strategies/safe_period.h"
+
+namespace salarm::core {
+
+namespace {
+
+std::optional<double> env_double(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  return std::strtod(value, nullptr);
+}
+
+}  // namespace
+
+ExperimentConfig ExperimentConfig::with_env_overrides() const {
+  ExperimentConfig out = *this;
+  if (const auto full = env_double("SALARM_FULL"); full && *full != 0.0) {
+    out.vehicles = 10000;
+    out.minutes = 60.0;
+  }
+  if (const auto v = env_double("SALARM_VEHICLES")) {
+    out.vehicles = static_cast<std::size_t>(*v);
+  }
+  if (const auto m = env_double("SALARM_MINUTES")) out.minutes = *m;
+  if (const auto a = env_double("SALARM_ALARMS")) {
+    out.alarm_count = static_cast<std::size_t>(*a);
+  }
+  if (const auto s = env_double("SALARM_SEED")) {
+    out.seed = static_cast<std::uint64_t>(*s);
+  }
+  return out;
+}
+
+roadnet::RoadNetwork Experiment::build_network(
+    const ExperimentConfig& config) {
+  roadnet::NetworkConfig net;
+  net.width_m = config.universe_km * kMetersPerKm;
+  net.height_m = config.universe_km * kMetersPerKm;
+  Rng rng(config.seed * 7919 + 1);
+  return roadnet::build_synthetic_network(net, rng);
+}
+
+mobility::TraceConfig Experiment::trace_config(
+    const ExperimentConfig& config) {
+  mobility::TraceConfig trace;
+  trace.vehicle_count = config.vehicles;
+  trace.tick_seconds = config.tick_seconds;
+  trace.seed = config.seed * 104729 + 2;
+  return trace;
+}
+
+Experiment::Experiment(const ExperimentConfig& config)
+    : config_(config), network_(build_network(config)),
+      grid_(grid::GridOverlay::with_cell_area(
+          network_.bounding_box(),
+          sqkm_to_sqm(config.grid_cell_sqkm))),
+      store_(), generator_(network_, trace_config(config)),
+      simulation_(generator_, store_, grid_, config.ticks()) {
+  SALARM_REQUIRE(config.public_percent >= 0.0 &&
+                     config.public_percent <= 100.0,
+                 "public percent out of range");
+  alarms::AlarmWorkloadConfig workload;
+  workload.alarm_count = config.alarm_count;
+  workload.subscriber_count = config.vehicles;
+  workload.public_fraction = config.public_percent / 100.0;
+  workload.region_side_lo = config.region_side_lo;
+  workload.region_side_hi = config.region_side_hi;
+  Rng rng(config.seed * 15485863 + 3);
+  store_.install_bulk(
+      alarms::generate_alarm_workload(workload, grid_.universe(), rng));
+}
+
+double Experiment::max_speed_bound() const {
+  return trace_config(config_).max_speed_bound(network_.max_speed_mps());
+}
+
+sim::Simulation::StrategyFactory Experiment::periodic() const {
+  return [](sim::Server& server) {
+    return std::make_unique<strategies::PeriodicStrategy>(server);
+  };
+}
+
+sim::Simulation::StrategyFactory Experiment::safe_period(
+    double speed_assumption_factor) const {
+  const std::size_t subscribers = config_.vehicles;
+  const double bound = max_speed_bound();
+  const double tick = config_.tick_seconds;
+  return [subscribers, bound, tick,
+          speed_assumption_factor](sim::Server& server) {
+    return std::make_unique<strategies::SafePeriodStrategy>(
+        server, subscribers, bound, tick, speed_assumption_factor);
+  };
+}
+
+sim::Simulation::StrategyFactory Experiment::rect(
+    saferegion::MotionModel model, saferegion::MwpsrOptions options) const {
+  const std::size_t subscribers = config_.vehicles;
+  return [subscribers, model, options](sim::Server& server) {
+    return std::make_unique<strategies::RectRegionStrategy>(
+        server, subscribers, model, options);
+  };
+}
+
+sim::Simulation::StrategyFactory Experiment::rect_corner_baseline(
+    saferegion::MotionModel model) const {
+  const std::size_t subscribers = config_.vehicles;
+  return [subscribers, model](sim::Server& server) {
+    return std::make_unique<strategies::RectRegionStrategy>(
+        server, subscribers, model, saferegion::MwpsrOptions{},
+        /*corner_baseline=*/true);
+  };
+}
+
+sim::Simulation::StrategyFactory Experiment::rect_with_loss(
+    saferegion::MotionModel model, double loss_rate) const {
+  const std::size_t subscribers = config_.vehicles;
+  const std::uint64_t seed = config_.seed * 31 + 11;
+  return [subscribers, model, loss_rate, seed](sim::Server& server) {
+    auto strategy = std::make_unique<strategies::RectRegionStrategy>(
+        server, subscribers, model);
+    strategy->set_downstream_loss(loss_rate, seed);
+    return strategy;
+  };
+}
+
+sim::Simulation::StrategyFactory Experiment::bitmap_with_loss(
+    saferegion::PyramidConfig config, double loss_rate) const {
+  const std::size_t subscribers = config_.vehicles;
+  const std::uint64_t seed = config_.seed * 31 + 13;
+  return [subscribers, config, loss_rate, seed](sim::Server& server) {
+    auto strategy = std::make_unique<strategies::BitmapRegionStrategy>(
+        server, subscribers, config);
+    strategy->set_downstream_loss(loss_rate, seed);
+    return strategy;
+  };
+}
+
+sim::Simulation::StrategyFactory Experiment::bitmap(
+    saferegion::PyramidConfig config) const {
+  const std::size_t subscribers = config_.vehicles;
+  return [subscribers, config](sim::Server& server) {
+    return std::make_unique<strategies::BitmapRegionStrategy>(
+        server, subscribers, config);
+  };
+}
+
+sim::Simulation::StrategyFactory Experiment::bitmap_cached(
+    saferegion::PyramidConfig config) const {
+  const std::size_t subscribers = config_.vehicles;
+  return [subscribers, config](sim::Server& server) {
+    return std::make_unique<strategies::BitmapRegionStrategy>(
+        server, subscribers, config, /*use_public_cache=*/true);
+  };
+}
+
+sim::Simulation::StrategyFactory Experiment::optimal() const {
+  const std::size_t subscribers = config_.vehicles;
+  return [subscribers](sim::Server& server) {
+    return std::make_unique<strategies::OptimalStrategy>(server, subscribers);
+  };
+}
+
+}  // namespace salarm::core

@@ -1,0 +1,104 @@
+// SpatialAlarmService — the library's user-facing server API.
+//
+// This is the facade a deployment embeds on the alarm-processing server:
+// install/uninstall alarms, process client position reports, and get back
+// (a) the alarms that fired and (b) the encoded safe-region message to ship
+// to the client. The matching client half is ClientMonitor
+// (client_monitor.h), which consumes those messages and tells the device
+// when it must next contact the server.
+//
+//   SpatialAlarmService service(config);
+//   service.install(...);
+//   auto result = service.process_update(subscriber, pos, heading, t);
+//   // send result.safe_region_message to the client
+//
+// The simulation engine (src/sim) bypasses this facade for metered runs;
+// the facade is the deployment surface and is exercised by examples/ and
+// the integration tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "alarms/alarm_store.h"
+#include "grid/grid_overlay.h"
+#include "saferegion/motion_model.h"
+#include "saferegion/mwpsr.h"
+#include "saferegion/pyramid.h"
+#include "saferegion/wire_format.h"
+
+namespace salarm::core {
+
+/// Which safe-region representation a client receives — the knob for
+/// device heterogeneity (paper §2.1): weak clients get rectangles, strong
+/// clients get pyramid bitmaps of a height they choose.
+enum class RegionKind : std::uint8_t { kRect, kPyramid };
+
+class SpatialAlarmService {
+ public:
+  struct Config {
+    geo::Rect universe{geo::Point{0, 0}, geo::Point{32000, 32000}};
+    /// Grid cell area in m² (paper default 2.5 km²).
+    double grid_cell_area_sqm = 2.5e6;
+    /// Steady-motion model for MWPSR (paper's best setting y=1, z=32).
+    double motion_y = 1.0;
+    int motion_z = 32;
+    saferegion::MwpsrOptions mwpsr{};
+    saferegion::PyramidConfig pyramid{};
+  };
+
+  explicit SpatialAlarmService(const Config& config);
+
+  /// Installs an alarm and returns its id. Ids are dense and assigned by
+  /// the service. The region must have positive area and lie inside the
+  /// universe.
+  alarms::AlarmId install(alarms::AlarmScope scope,
+                          alarms::SubscriberId owner, const geo::Rect& region,
+                          std::vector<alarms::SubscriberId> subscribers = {});
+
+  /// Uninstalls an alarm; returns false when absent.
+  bool uninstall(alarms::AlarmId id);
+
+  /// Moves an alarm's region (moving-target alarms): the alarm keeps its
+  /// id and per-subscriber trigger state; subscribers pick up the change
+  /// on their next safe-region refresh. The new region must lie inside the
+  /// universe.
+  void move(alarms::AlarmId id, const geo::Rect& new_region);
+
+  std::size_t alarm_count() const { return installed_count_; }
+
+  struct UpdateResult {
+    /// Alarms fired by this update (now spent for the subscriber).
+    std::vector<alarms::AlarmId> fired;
+    /// Encoded safe-region message for the client (rect or pyramid wire
+    /// format per `kind`), ready to transmit; feed to ClientMonitor.
+    std::vector<std::uint8_t> safe_region_message;
+  };
+
+  /// Processes one client report: evaluates alarms, computes a fresh safe
+  /// region of the requested kind, and returns both. `heading` is the
+  /// client's direction of motion (radians; only used for kRect).
+  UpdateResult process_update(alarms::SubscriberId subscriber,
+                              geo::Point position, double heading,
+                              std::uint64_t tick,
+                              RegionKind kind = RegionKind::kRect);
+
+  /// Trigger history (every fired (alarm, subscriber, tick)).
+  const std::vector<alarms::TriggerEvent>& trigger_log() const {
+    return trigger_log_;
+  }
+
+  const grid::GridOverlay& grid() const { return grid_; }
+
+ private:
+  Config config_;
+  grid::GridOverlay grid_;
+  alarms::AlarmStore store_;
+  saferegion::MotionModel motion_;
+  std::vector<alarms::TriggerEvent> trigger_log_;
+  std::size_t installed_count_ = 0;
+  alarms::AlarmId next_id_ = 0;
+};
+
+}  // namespace salarm::core

@@ -1,0 +1,61 @@
+// 2-D point / vector on the planar Universe of Discourse (meters).
+#pragma once
+
+#include <cmath>
+
+namespace salarm::geo {
+
+/// A point (or displacement vector) in the plane, coordinates in meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Point operator+(Point a, Point b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Point operator-(Point a, Point b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Point operator*(Point a, double s) {
+    return {a.x * s, a.y * s};
+  }
+  friend constexpr Point operator*(double s, Point a) { return a * s; }
+  friend constexpr bool operator==(Point a, Point b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+constexpr double dot(Point a, Point b) { return a.x * b.x + a.y * b.y; }
+
+inline double norm(Point a) { return std::hypot(a.x, a.y); }
+
+inline double distance(Point a, Point b) { return norm(a - b); }
+
+constexpr double squared_distance(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Heading of the vector in radians in (-pi, pi]; heading of the zero
+/// vector is defined as 0 (east).
+inline double heading(Point v) {
+  if (v.x == 0.0 && v.y == 0.0) return 0.0;
+  return std::atan2(v.y, v.x);
+}
+
+/// Linear interpolation: a at t=0, b at t=1.
+constexpr Point lerp(Point a, Point b, double t) {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+/// Normalizes an angle to (-pi, pi].
+inline double normalize_angle(double a) {
+  const double two_pi = 2.0 * M_PI;
+  a = std::fmod(a, two_pi);
+  if (a <= -M_PI) a += two_pi;
+  if (a > M_PI) a -= two_pi;
+  return a;
+}
+
+}  // namespace salarm::geo

@@ -1,0 +1,68 @@
+#include "grid/grid_overlay.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace salarm::grid {
+
+GridOverlay GridOverlay::with_cell_area(const geo::Rect& universe,
+                                        double cell_area_sqm) {
+  SALARM_REQUIRE(cell_area_sqm > 0.0, "cell area must be positive");
+  SALARM_REQUIRE(universe.area() > 0.0, "universe must have positive area");
+  SALARM_REQUIRE(cell_area_sqm <= universe.area(),
+                 "cell area exceeds universe");
+  // Choose cols/rows so each cell is as square as possible with area close
+  // to the target.
+  const double side = std::sqrt(cell_area_sqm);
+  const auto cols = static_cast<std::uint32_t>(
+      std::max(1.0, std::round(universe.width() / side)));
+  const auto rows = static_cast<std::uint32_t>(
+      std::max(1.0, std::round(universe.height() / side)));
+  return GridOverlay(universe, cols, rows);
+}
+
+GridOverlay::GridOverlay(const geo::Rect& universe, std::uint32_t cols,
+                         std::uint32_t rows)
+    : universe_(universe), cols_(cols), rows_(rows),
+      cell_w_(universe.width() / cols), cell_h_(universe.height() / rows) {
+  SALARM_REQUIRE(cols >= 1 && rows >= 1, "grid needs at least one cell");
+  SALARM_REQUIRE(universe.area() > 0.0, "universe must have positive area");
+}
+
+CellId GridOverlay::cell_of(geo::Point p) const {
+  SALARM_REQUIRE(universe_.contains(p), "point outside the universe");
+  auto clamp_axis = [](double offset, double width, std::uint32_t n) {
+    auto i = static_cast<std::int64_t>(std::floor(offset / width));
+    i = std::clamp<std::int64_t>(i, 0, static_cast<std::int64_t>(n) - 1);
+    return static_cast<std::uint32_t>(i);
+  };
+  return {clamp_axis(p.x - universe_.lo().x, cell_w_, cols_),
+          clamp_axis(p.y - universe_.lo().y, cell_h_, rows_)};
+}
+
+geo::Rect GridOverlay::cell_rect(CellId id) const {
+  SALARM_REQUIRE(id.col < cols_ && id.row < rows_, "cell id out of range");
+  const geo::Point lo{universe_.lo().x + cell_w_ * id.col,
+                      universe_.lo().y + cell_h_ * id.row};
+  return geo::Rect(lo, {lo.x + cell_w_, lo.y + cell_h_});
+}
+
+std::vector<CellId> GridOverlay::cells_intersecting(const geo::Rect& r) const {
+  std::vector<CellId> out;
+  const auto clipped = universe_.intersection(r);
+  if (!clipped) return out;
+  const CellId lo = cell_of(clipped->lo());
+  const CellId hi = cell_of(clipped->hi());
+  out.reserve(static_cast<std::size_t>(hi.col - lo.col + 1) *
+              (hi.row - lo.row + 1));
+  for (std::uint32_t row = lo.row; row <= hi.row; ++row) {
+    for (std::uint32_t col = lo.col; col <= hi.col; ++col) {
+      out.push_back({col, row});
+    }
+  }
+  return out;
+}
+
+}  // namespace salarm::grid

@@ -1,0 +1,32 @@
+#include "mobility/position_source.h"
+
+#include "common/error.h"
+
+namespace salarm::mobility {
+
+RecordedTraceSource::RecordedTraceSource(const RecordedTrace& trace)
+    : trace_(trace) {
+  SALARM_REQUIRE(trace.tick_count() > 0, "trace has no ticks");
+  geo::Rect box(trace.sample(0, 0).pos, trace.sample(0, 0).pos);
+  for (std::size_t t = 0; t < trace.tick_count(); ++t) {
+    for (VehicleId v = 0; v < trace.vehicle_count(); ++v) {
+      box = box.united(trace.sample(t, v).pos);
+    }
+  }
+  extent_ = box;
+  reset();
+}
+
+void RecordedTraceSource::reset() {
+  tick_ = 0;
+  current_ = trace_.tick(0);
+}
+
+void RecordedTraceSource::step() {
+  SALARM_REQUIRE(tick_ + 1 < trace_.tick_count(),
+                 "stepped past the end of the recorded trace");
+  ++tick_;
+  current_ = trace_.tick(tick_);
+}
+
+}  // namespace salarm::mobility

@@ -1,0 +1,70 @@
+// Mobility trace types.
+//
+// The paper's evaluation is driven by "a very high frequency trace of the
+// motion pattern of the vehicles"; the sequence of alarms to be triggered
+// (ground truth) is determined directly by this trace. A trace here is the
+// per-tick sequence of samples for a fleet of vehicles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "geometry/point.h"
+
+namespace salarm::mobility {
+
+using VehicleId = std::uint32_t;
+
+/// Position and motion of a vehicle at one tick.
+struct VehicleSample {
+  geo::Point pos;
+  /// Heading of current motion in radians (-pi, pi]; kept from the previous
+  /// tick when the vehicle is momentarily stopped.
+  double heading = 0.0;
+  /// Current speed in m/s.
+  double speed_mps = 0.0;
+};
+
+/// A fully materialized trace: ticks × vehicles. Convenient for tests and
+/// small workloads; large workloads should replay a TraceGenerator instead
+/// (same determinism, no O(ticks × vehicles) memory).
+class RecordedTrace {
+ public:
+  RecordedTrace(std::size_t vehicle_count, double tick_seconds)
+      : vehicle_count_(vehicle_count), tick_seconds_(tick_seconds) {
+    SALARM_REQUIRE(vehicle_count > 0, "trace needs at least one vehicle");
+    SALARM_REQUIRE(tick_seconds > 0.0, "tick must be positive");
+  }
+
+  void append_tick(std::vector<VehicleSample> samples) {
+    SALARM_REQUIRE(samples.size() == vehicle_count_,
+                   "tick has wrong vehicle count");
+    ticks_.push_back(std::move(samples));
+  }
+
+  std::size_t tick_count() const { return ticks_.size(); }
+  std::size_t vehicle_count() const { return vehicle_count_; }
+  double tick_seconds() const { return tick_seconds_; }
+  double duration_seconds() const {
+    return tick_seconds_ * static_cast<double>(ticks_.size());
+  }
+
+  const std::vector<VehicleSample>& tick(std::size_t t) const {
+    SALARM_REQUIRE(t < ticks_.size(), "tick out of range");
+    return ticks_[t];
+  }
+
+  const VehicleSample& sample(std::size_t t, VehicleId v) const {
+    const auto& row = tick(t);
+    SALARM_REQUIRE(v < row.size(), "vehicle out of range");
+    return row[v];
+  }
+
+ private:
+  std::size_t vehicle_count_;
+  double tick_seconds_;
+  std::vector<std::vector<VehicleSample>> ticks_;
+};
+
+}  // namespace salarm::mobility

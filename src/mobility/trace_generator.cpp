@@ -1,0 +1,165 @@
+#include "mobility/trace_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace salarm::mobility {
+
+TraceGenerator::TraceGenerator(const roadnet::RoadNetwork& network,
+                               TraceConfig config)
+    : network_(network), config_(config), router_(network) {
+  SALARM_REQUIRE(config_.vehicle_count > 0, "need at least one vehicle");
+  SALARM_REQUIRE(config_.tick_seconds > 0.0, "tick must be positive");
+  SALARM_REQUIRE(config_.speed_factor_lo > 0.0 &&
+                     config_.speed_factor_hi >= config_.speed_factor_lo,
+                 "bad speed factor range");
+  SALARM_REQUIRE(config_.speed_noise_sigma >= 0.0, "negative speed noise");
+  SALARM_REQUIRE(config_.max_dwell_seconds >= 0.0, "negative dwell");
+  SALARM_REQUIRE(network.node_count() >= 2, "network too small for trips");
+  reset();
+}
+
+void TraceGenerator::reset() {
+  Rng master(config_.seed);
+  vehicles_.assign(config_.vehicle_count, Vehicle{});
+  samples_.assign(config_.vehicle_count, VehicleSample{});
+  vehicle_rngs_.clear();
+  vehicle_rngs_.reserve(config_.vehicle_count);
+  for (std::size_t i = 0; i < config_.vehicle_count; ++i) {
+    vehicle_rngs_.push_back(master.fork());
+  }
+  for (std::size_t i = 0; i < config_.vehicle_count; ++i) {
+    Vehicle& v = vehicles_[i];
+    Rng& rng = vehicle_rngs_[i];
+    v.at_node =
+        static_cast<roadnet::NodeId>(rng.index(network_.node_count()));
+    v.speed_factor =
+        rng.uniform(config_.speed_factor_lo, config_.speed_factor_hi);
+    start_new_trip(v, rng);
+    samples_[i].pos = network_.node(v.at_node).pos;
+    samples_[i].heading =
+        v.route.nodes.size() > 1
+            ? geo::heading(leg_end(v) - leg_start(v))
+            : 0.0;
+    samples_[i].speed_mps = 0.0;
+  }
+  time_s_ = 0.0;
+  tick_ = 0;
+}
+
+void TraceGenerator::start_new_trip(Vehicle& v, Rng& rng) {
+  // Redraw until a reachable, distinct destination is found. On a connected
+  // network the loop ends on the first non-identical draw; the retry bound
+  // turns a disconnected-network bug into a loud failure.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto dest =
+        static_cast<roadnet::NodeId>(rng.index(network_.node_count()));
+    if (dest == v.at_node) continue;
+    roadnet::Route route = router_.route(v.at_node, dest);
+    if (route.empty()) continue;
+    v.route = std::move(route);
+    v.leg = 0;
+    v.offset_m = 0.0;
+    return;
+  }
+  SALARM_ASSERT(false, "could not find a destination; network disconnected?");
+}
+
+geo::Point TraceGenerator::leg_start(const Vehicle& v) const {
+  return network_.node(v.route.nodes[v.leg]).pos;
+}
+
+geo::Point TraceGenerator::leg_end(const Vehicle& v) const {
+  return network_.node(v.route.nodes[v.leg + 1]).pos;
+}
+
+double TraceGenerator::leg_length(const Vehicle& v) const {
+  return geo::distance(leg_start(v), leg_end(v));
+}
+
+double TraceGenerator::leg_speed(const Vehicle& v) const {
+  const roadnet::NodeId a = v.route.nodes[v.leg];
+  const roadnet::NodeId b = v.route.nodes[v.leg + 1];
+  for (const roadnet::RoadNetwork::Adjacency& adj : network_.neighbors(a)) {
+    if (adj.neighbor == b) return network_.edge(adj.edge).speed_mps;
+  }
+  SALARM_ASSERT(false, "route uses a non-existent edge");
+}
+
+void TraceGenerator::advance_vehicle(VehicleId id, double dt) {
+  Vehicle& v = vehicles_[id];
+  Rng& rng = vehicle_rngs_[id];
+  VehicleSample& sample = samples_[id];
+
+  if (v.dwell_remaining_s > 0.0) {
+    const double wait = std::min(v.dwell_remaining_s, dt);
+    v.dwell_remaining_s -= wait;
+    dt -= wait;
+    if (v.dwell_remaining_s > 0.0 || dt == 0.0) {
+      sample.pos = network_.node(v.at_node).pos;
+      sample.speed_mps = 0.0;
+      return;
+    }
+    start_new_trip(v, rng);
+  }
+
+  const geo::Point before = sample.pos;
+  // Noise is clamped to +-3 sigma so max_speed_bound() is a hard bound —
+  // the safe-period baseline's correctness depends on it.
+  const double noise =
+      std::clamp(1.0 + rng.normal(0.0, config_.speed_noise_sigma), 0.1,
+                 1.0 + 3.0 * config_.speed_noise_sigma);
+  double budget = dt;
+  while (budget > 0.0) {
+    const double speed = leg_speed(v) * v.speed_factor * noise;
+    const double remaining_on_leg = leg_length(v) - v.offset_m;
+    const double step = speed * budget;
+    if (step < remaining_on_leg) {
+      v.offset_m += step;
+      budget = 0.0;
+      break;
+    }
+    budget -= remaining_on_leg / speed;
+    ++v.leg;
+    v.offset_m = 0.0;
+    if (v.leg + 1 >= v.route.nodes.size()) {
+      // Arrived; dwell, possibly into the next tick.
+      v.at_node = v.route.nodes.back();
+      v.dwell_remaining_s = rng.uniform(0.0, config_.max_dwell_seconds);
+      break;
+    }
+  }
+
+  if (v.leg + 1 >= v.route.nodes.size()) {
+    sample.pos = network_.node(v.at_node).pos;
+  } else {
+    const double len = leg_length(v);
+    sample.pos = geo::lerp(leg_start(v), leg_end(v), v.offset_m / len);
+  }
+  const geo::Point moved = sample.pos - before;
+  if (moved.x != 0.0 || moved.y != 0.0) sample.heading = geo::heading(moved);
+  sample.speed_mps = geo::norm(moved) / dt;
+}
+
+void TraceGenerator::step() {
+  for (VehicleId id = 0; id < vehicles_.size(); ++id) {
+    advance_vehicle(id, config_.tick_seconds);
+  }
+  time_s_ += config_.tick_seconds;
+  ++tick_;
+}
+
+RecordedTrace TraceGenerator::record(std::size_t ticks) {
+  SALARM_REQUIRE(ticks > 0, "cannot record an empty trace");
+  RecordedTrace trace(config_.vehicle_count, config_.tick_seconds);
+  trace.append_tick(samples_);
+  for (std::size_t t = 1; t < ticks; ++t) {
+    step();
+    trace.append_tick(samples_);
+  }
+  return trace;
+}
+
+}  // namespace salarm::mobility

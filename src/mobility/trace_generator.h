@@ -1,0 +1,105 @@
+// Trip-based vehicle trace generator.
+//
+// Each vehicle performs successive trips between uniformly drawn network
+// nodes along time-optimal routes, moving at the road-class speed scaled by
+// a per-vehicle factor, with small per-tick speed noise. The generator is
+// fully deterministic in (network, config): reset() replays the identical
+// trace, which is how the simulator runs every processing strategy against
+// the same motion pattern, as the paper's methodology requires.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "mobility/position_source.h"
+#include "mobility/trace.h"
+#include "roadnet/road_network.h"
+#include "roadnet/shortest_path.h"
+
+namespace salarm::mobility {
+
+struct TraceConfig {
+  std::size_t vehicle_count = 1000;
+  double tick_seconds = 1.0;
+  std::uint64_t seed = 42;
+  /// Per-vehicle speed factor drawn uniformly from this range.
+  double speed_factor_lo = 0.8;
+  double speed_factor_hi = 1.2;
+  /// Per-tick multiplicative speed noise (standard deviation; 0 disables).
+  /// Clamped to +-3 sigma so that max_speed_bound() below is hard.
+  double speed_noise_sigma = 0.05;
+
+  /// Hard upper bound on any vehicle's speed under this configuration —
+  /// the worst-case velocity assumption of the safe-period baseline [3].
+  double max_speed_bound(double network_max_speed_mps) const {
+    return network_max_speed_mps * speed_factor_hi *
+           (1.0 + 3.0 * speed_noise_sigma);
+  }
+  /// Dwell time at a trip destination before the next trip starts, drawn
+  /// uniformly from [0, max].
+  double max_dwell_seconds = 30.0;
+};
+
+/// Streams VehicleSamples tick by tick. Not thread-safe.
+class TraceGenerator final : public PositionSource {
+ public:
+  /// The network must outlive the generator.
+  TraceGenerator(const roadnet::RoadNetwork& network, TraceConfig config);
+
+  /// Rewinds to tick 0; the subsequent sample stream is identical to the
+  /// one produced after construction.
+  void reset() override;
+
+  /// Advances all vehicles by one tick.
+  void step() override;
+
+  /// Samples after the most recent step() (or the initial positions before
+  /// any step). Indexed by VehicleId.
+  const std::vector<VehicleSample>& samples() const override {
+    return samples_;
+  }
+
+  std::size_t vehicle_count() const override {
+    return config_.vehicle_count;
+  }
+  double tick_seconds() const override { return config_.tick_seconds; }
+  geo::Rect extent() const override { return network_.bounding_box(); }
+
+  double time_seconds() const { return time_s_; }
+  std::size_t tick_index() const { return tick_; }
+  const TraceConfig& config() const { return config_; }
+  const roadnet::RoadNetwork& network() const { return network_; }
+
+  /// Materializes `ticks` ticks (including the initial positions as tick 0)
+  /// into a RecordedTrace, leaving this generator positioned at the end.
+  RecordedTrace record(std::size_t ticks);
+
+ private:
+  struct Vehicle {
+    roadnet::Route route;        ///< current trip
+    std::size_t leg = 0;         ///< index into route.nodes of the leg start
+    double offset_m = 0.0;       ///< distance traveled along the current leg
+    double speed_factor = 1.0;
+    double dwell_remaining_s = 0.0;
+    roadnet::NodeId at_node = 0; ///< route destination when idle
+  };
+
+  void start_new_trip(Vehicle& v, Rng& rng);
+  void advance_vehicle(VehicleId id, double dt);
+  geo::Point leg_start(const Vehicle& v) const;
+  geo::Point leg_end(const Vehicle& v) const;
+  double leg_length(const Vehicle& v) const;
+  double leg_speed(const Vehicle& v) const;
+
+  const roadnet::RoadNetwork& network_;
+  TraceConfig config_;
+  roadnet::Router router_;
+  std::vector<Vehicle> vehicles_;
+  std::vector<VehicleSample> samples_;
+  std::vector<Rng> vehicle_rngs_;
+  double time_s_ = 0.0;
+  std::size_t tick_ = 0;
+};
+
+}  // namespace salarm::mobility

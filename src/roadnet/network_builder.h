@@ -1,0 +1,39 @@
+// Synthetic road network generator.
+//
+// Builds a perturbed-grid road web with three functional classes — the
+// stand-in for the paper's USGS Atlanta map (DESIGN.md §5). The default
+// parameters cover a 32 km × 32 km region (1024 km², matching the paper's
+// ~1000 km²) with highways every 8 km, arterials every 2 km and local
+// streets at 1 km spacing, jittered so the network is not a perfect lattice.
+#pragma once
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "roadnet/road_network.h"
+
+namespace salarm::roadnet {
+
+struct NetworkConfig {
+  double width_m = 32000.0;
+  double height_m = 32000.0;
+  /// Spacing of the underlying node lattice (local street pitch).
+  double spacing_m = 1000.0;
+  /// Every k-th lattice line is an arterial / a highway.
+  int arterial_every = 2;
+  int highway_every = 8;
+  double highway_speed_mps = kmh_to_mps(90.0);
+  double arterial_speed_mps = kmh_to_mps(60.0);
+  double local_speed_mps = kmh_to_mps(30.0);
+  /// Node positions are jittered by up to this fraction of the spacing.
+  double jitter_fraction = 0.25;
+  /// Fraction of local (lowest-class) segments randomly removed to break up
+  /// the lattice. Removal never disconnects the network: candidates are
+  /// only removed if both endpoints keep degree >= 2.
+  double local_drop_probability = 0.10;
+};
+
+/// Builds a connected synthetic network. Throws PreconditionError on an
+/// unusable configuration (non-positive extent/spacing, jitter >= 0.5, ...).
+RoadNetwork build_synthetic_network(const NetworkConfig& config, Rng& rng);
+
+}  // namespace salarm::roadnet

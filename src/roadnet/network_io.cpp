@@ -1,0 +1,151 @@
+#include "roadnet/network_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <iostream>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+
+namespace salarm::roadnet {
+
+namespace {
+
+constexpr char kMagic[] = "# salarm-road-network v1";
+
+std::string_view class_name(RoadClass c) {
+  switch (c) {
+    case RoadClass::kHighway:
+      return "highway";
+    case RoadClass::kArterial:
+      return "arterial";
+    case RoadClass::kLocal:
+      return "local";
+  }
+  SALARM_ASSERT(false, "unknown road class");
+}
+
+RoadClass class_from_name(std::string_view name) {
+  if (name == "highway") return RoadClass::kHighway;
+  if (name == "arterial") return RoadClass::kArterial;
+  if (name == "local") return RoadClass::kLocal;
+  SALARM_REQUIRE(false, "unknown road class: " + std::string(name));
+}
+
+double parse_double(std::string_view field, const char* what) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  SALARM_REQUIRE(ec == std::errc() && ptr == field.data() + field.size(),
+                 std::string("malformed ") + what + " field");
+  return value;
+}
+
+std::uint64_t parse_uint(std::string_view field, const char* what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  SALARM_REQUIRE(ec == std::errc() && ptr == field.data() + field.size(),
+                 std::string("malformed ") + what + " field");
+  return value;
+}
+
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+std::string next_line(std::istream& in, const char* what) {
+  std::string line;
+  SALARM_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                 std::string("unexpected end of file before ") + what);
+  return line;
+}
+
+}  // namespace
+
+void write_network_csv(const RoadNetwork& network, std::ostream& out) {
+  out << kMagic << '\n';
+  out.precision(10);
+  out << "nodes," << network.node_count() << '\n';
+  out << "id,x,y\n";
+  for (NodeId n = 0; n < network.node_count(); ++n) {
+    const geo::Point p = network.node(n).pos;
+    out << n << ',' << p.x << ',' << p.y << '\n';
+  }
+  out << "edges," << network.edge_count() << '\n';
+  out << "a,b,speed_mps,class\n";
+  for (EdgeId e = 0; e < network.edge_count(); ++e) {
+    const RoadEdge& edge = network.edge(e);
+    out << edge.a << ',' << edge.b << ',' << edge.speed_mps << ','
+        << class_name(edge.road_class) << '\n';
+  }
+}
+
+RoadNetwork read_network_csv(std::istream& in) {
+  SALARM_REQUIRE(next_line(in, "magic") == kMagic,
+                 "missing salarm-road-network magic line");
+
+  const std::string nodes_line = next_line(in, "nodes header");
+  const auto nodes_header = split_fields(nodes_line);
+  SALARM_REQUIRE(nodes_header.size() == 2 && nodes_header[0] == "nodes",
+                 "expected 'nodes,<count>'");
+  const auto node_count = parse_uint(nodes_header[1], "node count");
+  SALARM_REQUIRE(next_line(in, "node columns") == "id,x,y",
+                 "expected node column header 'id,x,y'");
+
+  RoadNetwork network;
+  for (std::uint64_t i = 0; i < node_count; ++i) {
+    const std::string row = next_line(in, "node row");
+    const auto fields = split_fields(row);
+    SALARM_REQUIRE(fields.size() == 3, "node rows need 3 fields");
+    SALARM_REQUIRE(parse_uint(fields[0], "node id") == i,
+                   "node ids must be dense and in order");
+    network.add_node(
+        {parse_double(fields[1], "x"), parse_double(fields[2], "y")});
+  }
+
+  const std::string edges_line = next_line(in, "edges header");
+  const auto edges_header = split_fields(edges_line);
+  SALARM_REQUIRE(edges_header.size() == 2 && edges_header[0] == "edges",
+                 "expected 'edges,<count>'");
+  const auto edge_count = parse_uint(edges_header[1], "edge count");
+  SALARM_REQUIRE(next_line(in, "edge columns") == "a,b,speed_mps,class",
+                 "expected edge column header 'a,b,speed_mps,class'");
+
+  for (std::uint64_t i = 0; i < edge_count; ++i) {
+    const std::string row = next_line(in, "edge row");
+    const auto fields = split_fields(row);
+    SALARM_REQUIRE(fields.size() == 4, "edge rows need 4 fields");
+    const auto a = static_cast<NodeId>(parse_uint(fields[0], "edge a"));
+    const auto b = static_cast<NodeId>(parse_uint(fields[1], "edge b"));
+    network.add_edge(a, b, parse_double(fields[2], "speed"),
+                     class_from_name(fields[3]));
+  }
+  return network;
+}
+
+void save_network_csv(const RoadNetwork& network, const std::string& path) {
+  std::ofstream out(path);
+  SALARM_REQUIRE(out.good(), "cannot open network file for writing: " + path);
+  write_network_csv(network, out);
+  SALARM_REQUIRE(out.good(), "error writing network file: " + path);
+}
+
+RoadNetwork load_network_csv(const std::string& path) {
+  std::ifstream in(path);
+  SALARM_REQUIRE(in.good(), "cannot open network file: " + path);
+  return read_network_csv(in);
+}
+
+}  // namespace salarm::roadnet

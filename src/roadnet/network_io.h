@@ -1,0 +1,43 @@
+// Road-network serialization: CSV import/export.
+//
+// The paper's evaluation runs on the USGS Atlanta map; this repository
+// generates a synthetic network instead (DESIGN.md §5). Users with real
+// map data can import it through this module and drive the trace
+// generator and every experiment with it.
+//
+// Format — a nodes section then an edges section, both with headers:
+//
+//   # salarm-road-network v1
+//   nodes,<count>
+//   id,x,y
+//   0,1500.0,2300.5
+//   ...
+//   edges,<count>
+//   a,b,speed_mps,class
+//   0,1,25.0,highway
+//   ...
+//
+// Node ids must be dense from 0 and appear in order; `class` is one of
+// highway / arterial / local.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "roadnet/road_network.h"
+
+namespace salarm::roadnet {
+
+void write_network_csv(const RoadNetwork& network, std::ostream& out);
+
+/// Parses a network from the format above. Throws PreconditionError on
+/// malformed input (bad magic, sparse ids, unknown road class, dangling
+/// edge endpoints, counts that do not match).
+RoadNetwork read_network_csv(std::istream& in);
+
+/// Convenience file wrappers; throw PreconditionError when the file cannot
+/// be opened.
+void save_network_csv(const RoadNetwork& network, const std::string& path);
+RoadNetwork load_network_csv(const std::string& path);
+
+}  // namespace salarm::roadnet

@@ -1,0 +1,85 @@
+#include "roadnet/road_network.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.h"
+
+namespace salarm::roadnet {
+
+NodeId RoadNetwork::add_node(geo::Point pos) {
+  nodes_.push_back({pos});
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+EdgeId RoadNetwork::add_edge(NodeId a, NodeId b, double speed_mps,
+                             RoadClass road_class) {
+  SALARM_REQUIRE(a < nodes_.size() && b < nodes_.size(),
+                 "edge endpoint does not exist");
+  SALARM_REQUIRE(a != b, "self-loop edges are not allowed");
+  SALARM_REQUIRE(speed_mps > 0.0, "edge speed must be positive");
+  RoadEdge e;
+  e.a = a;
+  e.b = b;
+  e.length_m = geo::distance(nodes_[a].pos, nodes_[b].pos);
+  SALARM_REQUIRE(e.length_m > 0.0, "zero-length edge");
+  e.speed_mps = speed_mps;
+  e.road_class = road_class;
+  edges_.push_back(e);
+  const auto id = static_cast<EdgeId>(edges_.size() - 1);
+  adjacency_[a].push_back({id, b});
+  adjacency_[b].push_back({id, a});
+  max_speed_mps_ = std::max(max_speed_mps_, speed_mps);
+  return id;
+}
+
+const RoadNode& RoadNetwork::node(NodeId id) const {
+  SALARM_REQUIRE(id < nodes_.size(), "node id out of range");
+  return nodes_[id];
+}
+
+const RoadEdge& RoadNetwork::edge(EdgeId id) const {
+  SALARM_REQUIRE(id < edges_.size(), "edge id out of range");
+  return edges_[id];
+}
+
+std::span<const RoadNetwork::Adjacency> RoadNetwork::neighbors(
+    NodeId id) const {
+  SALARM_REQUIRE(id < adjacency_.size(), "node id out of range");
+  return adjacency_[id];
+}
+
+geo::Rect RoadNetwork::bounding_box() const {
+  SALARM_REQUIRE(!nodes_.empty(), "bounding box of empty network");
+  geo::Rect box(nodes_.front().pos, nodes_.front().pos);
+  for (const RoadNode& n : nodes_) box = box.united(n.pos);
+  return box;
+}
+
+std::size_t RoadNetwork::largest_component_size() const {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::size_t best = 0;
+  for (NodeId start = 0; start < nodes_.size(); ++start) {
+    if (seen[start]) continue;
+    std::size_t component = 0;
+    std::queue<NodeId> frontier;
+    frontier.push(start);
+    seen[start] = true;
+    while (!frontier.empty()) {
+      const NodeId n = frontier.front();
+      frontier.pop();
+      ++component;
+      for (const Adjacency& adj : adjacency_[n]) {
+        if (!seen[adj.neighbor]) {
+          seen[adj.neighbor] = true;
+          frontier.push(adj.neighbor);
+        }
+      }
+    }
+    best = std::max(best, component);
+  }
+  return best;
+}
+
+}  // namespace salarm::roadnet

@@ -1,0 +1,81 @@
+// Road network model.
+//
+// The paper generates traces of vehicles "moving on a real-world road
+// network using maps available from ... USGS" over an ~1000 km² region of
+// Atlanta. The USGS map data is not available here; src/roadnet instead
+// provides (i) this generic road-network container and (ii) a synthetic
+// network builder (network_builder.h) producing a hierarchical
+// highway/arterial/local road web of comparable expanse and speed structure.
+// DESIGN.md §5 documents why the substitution preserves the evaluated
+// behaviour.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace salarm::roadnet {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+/// Functional class of a road, in decreasing speed order.
+enum class RoadClass : std::uint8_t { kHighway, kArterial, kLocal };
+
+struct RoadNode {
+  geo::Point pos;
+};
+
+/// An undirected road segment between two nodes.
+struct RoadEdge {
+  NodeId a = 0;
+  NodeId b = 0;
+  double length_m = 0.0;
+  double speed_mps = 0.0;
+  RoadClass road_class = RoadClass::kLocal;
+};
+
+/// Compact undirected graph with an adjacency index. Nodes and edges are
+/// append-only; the adjacency index is built incrementally.
+class RoadNetwork {
+ public:
+  /// Half-edge as seen from one endpoint.
+  struct Adjacency {
+    EdgeId edge;
+    NodeId neighbor;
+  };
+
+  NodeId add_node(geo::Point pos);
+
+  /// Adds an undirected edge; length is computed from node positions.
+  /// Requires distinct, existing endpoints and positive speed.
+  EdgeId add_edge(NodeId a, NodeId b, double speed_mps, RoadClass road_class);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+  const RoadNode& node(NodeId id) const;
+  const RoadEdge& edge(EdgeId id) const;
+  std::span<const Adjacency> neighbors(NodeId id) const;
+
+  /// Bounding box of all nodes; throws on an empty network.
+  geo::Rect bounding_box() const;
+
+  /// Size of the largest connected component (BFS). A usable mobility
+  /// substrate should have this equal to node_count().
+  std::size_t largest_component_size() const;
+
+  /// Highest speed over all edges in m/s (0 on an empty network); the
+  /// safe-period baseline uses this as its worst-case velocity bound.
+  double max_speed_mps() const { return max_speed_mps_; }
+
+ private:
+  std::vector<RoadNode> nodes_;
+  std::vector<RoadEdge> edges_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+  double max_speed_mps_ = 0.0;
+};
+
+}  // namespace salarm::roadnet

@@ -1,0 +1,46 @@
+// Time-optimal routing over a RoadNetwork.
+#pragma once
+
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace salarm::roadnet {
+
+/// A route as a sequence of adjacent nodes, front() = origin, back() =
+/// destination.
+struct Route {
+  std::vector<NodeId> nodes;
+  double travel_time_s = 0.0;
+  double length_m = 0.0;
+
+  bool empty() const { return nodes.empty(); }
+};
+
+/// A* router minimizing travel time, with the admissible heuristic
+/// straight-line-distance / network-max-speed. Reusable across queries
+/// (scratch buffers are kept between calls); not thread-safe — use one
+/// Router per thread.
+class Router {
+ public:
+  explicit Router(const RoadNetwork& network);
+
+  /// Fastest route from `from` to `to`. Returns an empty route when the
+  /// destination is unreachable. A route from a node to itself contains
+  /// that single node.
+  Route route(NodeId from, NodeId to);
+
+  /// Nodes expanded by the most recent route() call (test/bench hook).
+  std::size_t last_expanded() const { return last_expanded_; }
+
+ private:
+  const RoadNetwork& network_;
+  // Scratch, versioned to avoid O(V) clearing per query.
+  std::vector<double> best_cost_;
+  std::vector<NodeId> came_from_;
+  std::vector<std::uint32_t> visit_epoch_;
+  std::uint32_t epoch_ = 0;
+  std::size_t last_expanded_ = 0;
+};
+
+}  // namespace salarm::roadnet

@@ -1,0 +1,42 @@
+// Corner-candidate rectangular safe region — the Hu et al. [10]-style
+// baseline the paper improves upon.
+//
+// The paper (§3, §6) claims its clamped candidate construction beats "the
+// approach presented in [10]", which "leads to alarm misses and erroneous
+// safe regions" when alarm regions overlap each other or intersect the
+// coordinate axes through the subscriber position. This module implements
+// that baseline faithfully enough to reproduce the failure: each alarm
+// contributes only its geometric nearest corner, assigned to the quadrant
+// that corner lies in — with no clamping to the quadrant axes.
+//
+// Consequence: an alarm region that straddles an axis (its nearest corner
+// lies on the far side, or the constraint it imposes on the straddled
+// quadrant pair is invisible from the corner's own quadrant) is not
+// constrained correctly, and the resulting "safe" rectangle can overlap
+// the alarm's interior — a subscriber inside it would miss the trigger.
+// The ablation bench (abl_corner_baseline) and the property tests
+// demonstrate both failure modes on random workloads.
+//
+// This baseline exists for comparison only; production code uses
+// compute_mwpsr (mwpsr.h).
+#pragma once
+
+#include <span>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "saferegion/motion_model.h"
+#include "saferegion/mwpsr.h"
+
+namespace salarm::saferegion {
+
+/// Computes the corner-candidate baseline safe region. Same contract shape
+/// as compute_mwpsr, but the result is NOT guaranteed sound: the returned
+/// rectangle may overlap alarm interiors when alarm regions overlap or
+/// straddle the axes through `position`.
+RectSafeRegion compute_corner_baseline(geo::Point position, double heading,
+                                       const geo::Rect& cell,
+                                       std::span<const geo::Rect> alarm_regions,
+                                       const MotionModel& model);
+
+}  // namespace salarm::saferegion

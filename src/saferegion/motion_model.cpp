@@ -1,0 +1,59 @@
+#include "saferegion/motion_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/point.h"
+
+namespace salarm::saferegion {
+
+MotionModel::MotionModel(double y, int z) : y_(y), z_(z) {
+  SALARM_REQUIRE(z >= 1, "z must be a positive integer");
+  SALARM_REQUIRE(y >= 0.0, "y must be non-negative");
+  SALARM_REQUIRE(y < static_cast<double>(z), "steadiness requires y/z < 1");
+}
+
+double MotionModel::pdf(double phi) const {
+  const double a = std::abs(geo::normalize_angle(phi));
+  const double w = M_PI / z_;
+  auto k = static_cast<int>(std::floor(a / w));
+  k = std::clamp(k, 0, z_ - 1);
+  const double q = (k + 0.5) * w;  // midpoint-quantized |phi|
+  const double ratio = y_ / static_cast<double>(z_);
+  return (1.0 + ratio * (M_PI / 2.0 - q) * (2.0 / M_PI)) / (2.0 * M_PI);
+}
+
+double MotionModel::mass(double a, double b) const {
+  SALARM_REQUIRE(b >= a, "mass interval out of order");
+  SALARM_REQUIRE(b - a <= 2.0 * M_PI + 1e-9, "mass interval exceeds 2*pi");
+  // The pdf (as a function of the unwrapped relative angle) is piecewise
+  // constant between consecutive multiples of w = pi/z, so summing
+  // pdf(midpoint) * length over those segments is exact.
+  const double w = M_PI / z_;
+  double total = 0.0;
+  double x = a;
+  while (x < b) {
+    double next_break = (std::floor(x / w) + 1.0) * w;
+    // Guard against x sitting exactly on (or a rounding hair past) a
+    // breakpoint, which would stall the sweep.
+    if (next_break <= x) next_break = (std::floor(x / w) + 2.0) * w;
+    const double seg_end = std::min(next_break, b);
+    SALARM_ASSERT(seg_end > x, "mass integration made no progress");
+    total += pdf((x + seg_end) / 2.0) * (seg_end - x);
+    x = seg_end;
+  }
+  return total;
+}
+
+QuadrantWeights MotionModel::quadrant_weights(double heading) const {
+  QuadrantWeights out;
+  // Quadrant Q spans absolute angles [Q*pi/2, (Q+1)*pi/2) for
+  // Q = I, II, III, IV = 0..3; convert to angles relative to the heading.
+  for (std::size_t q = 0; q < 4; ++q) {
+    const double abs_lo = static_cast<double>(q) * M_PI / 2.0;
+    out.w[q] = mass(abs_lo - heading, abs_lo + M_PI / 2.0 - heading);
+  }
+  return out;
+}
+
+}  // namespace salarm::saferegion

@@ -1,0 +1,71 @@
+// Steady-motion probability model (paper §3, Figure 1).
+//
+// The probability density p(φ) of the client's next direction of motion is
+// expressed relative to its current heading: φ = 0 means "keeps going
+// straight". Two parameters of steadiness y, z (y/z < 1) control the model:
+// y/z weights how strongly the current direction is preferred, and z sets
+// the angular granularity — the density is constant for 0 <= |φ| <= π/z and
+// steps down beyond.
+//
+// The paper's formula is typographically corrupted in the available text;
+// this is the reconstruction documented in DESIGN.md §2:
+//
+//     p(φ) = [ 1 + (y/z) · (π/2 − Q_z(|φ|)) · (2/π) ] / 2π
+//
+// where Q_z(a) quantizes a ∈ [0, π] to the midpoint of its step of width
+// π/z. Properties (all unit-tested):
+//   * p is a valid pdf: p >= 0 (since y/z < 1) and ∫_{-π}^{π} p dφ = 1 for
+//     even z (the steps pair off symmetrically around π/2);
+//   * constant on [0, π/z]; non-increasing in |φ|;
+//   * peak value (1 + y/z)/2π and floor (1 − y/z)/2π, matching Fig. 1(b);
+//   * uniform 1/2π as y/z → 0 (the "random direction" limit).
+#pragma once
+
+#include <array>
+
+#include "common/error.h"
+
+namespace salarm::saferegion {
+
+/// Weights of the four axis-aligned quadrant directions under the motion
+/// pdf; used by the weighted-perimeter objective. Sum to 1.
+struct QuadrantWeights {
+  /// Indexed by quadrant: 0 = I (+x,+y), 1 = II (-x,+y), 2 = III (-x,-y),
+  /// 3 = IV (+x,-y).
+  std::array<double, 4> w{};
+
+  double operator[](std::size_t q) const { return w[q]; }
+};
+
+/// The steady-motion pdf.
+class MotionModel {
+ public:
+  /// Requires z a positive even integer and 0 <= y < z (so y/z < 1 and the
+  /// density stays non-negative and normalized).
+  MotionModel(double y, int z);
+
+  /// Density at relative angle phi (any real; wrapped into (-π, π]).
+  double pdf(double phi) const;
+
+  /// Probability mass of the angular interval [a, b] (relative angles,
+  /// b >= a, b - a <= 2π), computed by exact summation over the quantized
+  /// steps.
+  double mass(double a, double b) const;
+
+  /// Probability mass of each axis-aligned quadrant for a client currently
+  /// heading in absolute direction `heading` (radians).
+  QuadrantWeights quadrant_weights(double heading) const;
+
+  double y() const { return y_; }
+  int z() const { return z_; }
+
+  /// The non-weighted model used by the paper's baseline rectangular
+  /// approach: uniform direction, every quadrant weighing 1/4.
+  static MotionModel uniform() { return MotionModel(0.0, 2); }
+
+ private:
+  double y_;
+  int z_;
+};
+
+}  // namespace salarm::saferegion

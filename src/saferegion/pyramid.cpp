@@ -1,0 +1,333 @@
+#include "saferegion/pyramid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitio.h"
+#include "common/error.h"
+
+namespace salarm::saferegion {
+
+void PyramidBitmap::validate(const geo::Rect& cell,
+                             const PyramidConfig& config) {
+  SALARM_REQUIRE(cell.area() > 0.0, "base cell must have positive area");
+  SALARM_REQUIRE(config.fanout_u >= 2 && config.fanout_v >= 2,
+                 "fan-out must be at least 2x2");
+  SALARM_REQUIRE(config.height >= 1, "pyramid height must be >= 1");
+  SALARM_REQUIRE(config.height <= 12, "pyramid height unreasonably large");
+  SALARM_REQUIRE(config.max_bits == 0 || config.max_bits >= 2,
+                 "bit budget cannot encode even the root");
+}
+
+PyramidBitmap PyramidBitmap::build(const geo::Rect& cell,
+                                   std::span<const geo::Rect> alarm_regions,
+                                   const PyramidConfig& config,
+                                   std::uint64_t* ops) {
+  validate(cell, config);
+  PyramidBitmap out(cell, config);
+
+  struct WorkItem {
+    std::uint32_t node;
+    geo::Rect rect;
+    std::vector<std::uint32_t> alarms;  ///< indices into alarm_regions
+  };
+
+  std::vector<std::uint32_t> all(alarm_regions.size());
+  for (std::uint32_t i = 0; i < all.size(); ++i) all[i] = i;
+
+  out.nodes_.push_back(Node{});
+  std::vector<WorkItem> frontier;
+  frontier.push_back({0, cell, std::move(all)});
+
+  const auto uv = static_cast<std::uint32_t>(config.fanout_u) *
+                  static_cast<std::uint32_t>(config.fanout_v);
+
+  // Encoded bits so far: every classified node costs 1 bit, plus a
+  // subdivided-flag bit for unsafe cells above the maximum height. The
+  // budget check is conservative: a whole level is only refined if the
+  // worst case (every frontier cell subdivides) fits.
+  std::size_t committed_bits = 0;
+  while (!frontier.empty()) {
+    // Worst case if this level refines fully: every frontier cell costs 2
+    // bits (unsafe + subdivided flag) and every child may later cost 2.
+    const bool budget_allows_refinement =
+        config.max_bits == 0 ||
+        committed_bits + frontier.size() * (2 + 2 * uv) <= config.max_bits;
+    std::vector<WorkItem> next;
+    for (WorkItem& item : frontier) {
+      // Classify this cell against the alarms inherited from its parent.
+      std::vector<std::uint32_t> touching;
+      bool covered = false;
+      for (const std::uint32_t a : item.alarms) {
+        if (ops != nullptr) ++*ops;
+        const geo::Rect& region = alarm_regions[a];
+        if (!region.interiors_intersect(item.rect)) continue;
+        touching.push_back(a);
+        if (region.contains(item.rect)) {
+          covered = true;
+          break;
+        }
+      }
+      const std::uint8_t level = out.nodes_[item.node].level;
+      if (touching.empty()) {
+        out.nodes_[item.node].state = State::kSafe;
+        committed_bits += 1;
+        continue;
+      }
+      if (covered || level >= config.height || !budget_allows_refinement) {
+        out.nodes_[item.node].state = State::kSolidUnsafe;
+        committed_bits += level < config.height ? 2 : 1;
+        continue;
+      }
+      committed_bits += 2;
+      const auto first_child = static_cast<std::uint32_t>(out.nodes_.size());
+      out.nodes_[item.node].state = State::kSubdivided;
+      out.nodes_[item.node].first_child = first_child;
+      const double w = item.rect.width() / config.fanout_u;
+      const double h = item.rect.height() / config.fanout_v;
+      for (int row = 0; row < config.fanout_v; ++row) {
+        for (int col = 0; col < config.fanout_u; ++col) {
+          Node child;
+          child.level = static_cast<std::uint8_t>(level + 1);
+          const auto idx = static_cast<std::uint32_t>(out.nodes_.size());
+          out.nodes_.push_back(child);
+          const geo::Point lo{item.rect.lo().x + w * col,
+                              item.rect.lo().y + h * row};
+          next.push_back(
+              {idx, geo::Rect(lo, {lo.x + w, lo.y + h}), touching});
+        }
+      }
+      SALARM_ASSERT(out.nodes_.size() == first_child + uv,
+                    "children must be contiguous");
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+PyramidContainment PyramidBitmap::locate(geo::Point p) const {
+  SALARM_REQUIRE(cell_.contains(p), "position outside the base cell");
+  PyramidContainment result;
+  std::size_t index = 0;
+  geo::Rect rect = cell_;
+  for (;;) {
+    ++result.levels;
+    const Node& node = nodes_[index];
+    if (node.state == State::kSafe) {
+      result.safe = true;
+      return result;
+    }
+    if (node.state == State::kSolidUnsafe) {
+      result.safe = false;
+      return result;
+    }
+    // Descend into the child containing p (half-open mapping, clamped so
+    // the cell's closed upper boundary folds into the last child).
+    const double w = rect.width() / config_.fanout_u;
+    const double h = rect.height() / config_.fanout_v;
+    const int col = std::clamp(
+        static_cast<int>(std::floor((p.x - rect.lo().x) / w)), 0,
+        config_.fanout_u - 1);
+    const int row = std::clamp(
+        static_cast<int>(std::floor((p.y - rect.lo().y) / h)), 0,
+        config_.fanout_v - 1);
+    index = node.first_child +
+            static_cast<std::size_t>(row) * config_.fanout_u + col;
+    const geo::Point lo{rect.lo().x + w * col, rect.lo().y + h * row};
+    rect = geo::Rect(lo, {lo.x + w, lo.y + h});
+  }
+}
+
+double PyramidBitmap::coverage() const {
+  const double uv = static_cast<double>(config_.fanout_u) * config_.fanout_v;
+  double covered = 0.0;
+  for (const Node& node : nodes_) {
+    if (node.state == State::kSafe) {
+      covered += std::pow(uv, -static_cast<double>(node.level));
+    }
+  }
+  return covered;
+}
+
+std::size_t PyramidBitmap::bit_size() const {
+  std::size_t bits = 0;
+  for (const Node& node : nodes_) {
+    bits += (node.state != State::kSafe && node.level < config_.height) ? 2 : 1;
+  }
+  return bits;
+}
+
+std::size_t PyramidBitmap::paper_bit_size() const {
+  const auto uv = static_cast<std::uint64_t>(config_.fanout_u) *
+                  static_cast<std::uint64_t>(config_.fanout_v);
+  std::uint64_t bits = 0;
+  for (const Node& node : nodes_) {
+    if (node.state == State::kSolidUnsafe && node.level < config_.height) {
+      // The paper refines every unsafe cell: a solid block at level L drags
+      // an all-zero subtree of depth height-L into the bitmap.
+      std::uint64_t subtree = 0;
+      std::uint64_t layer = 1;
+      for (int d = node.level; d <= config_.height; ++d) {
+        subtree += layer;
+        layer *= uv;
+      }
+      bits += subtree;
+    } else {
+      bits += 1;
+    }
+  }
+  return static_cast<std::size_t>(bits);
+}
+
+PyramidBitmap PyramidBitmap::intersect(const PyramidBitmap& other,
+                                       std::uint64_t* ops) const {
+  SALARM_REQUIRE(cell_ == other.cell_, "pyramids describe different cells");
+  SALARM_REQUIRE(config_.fanout_u == other.config_.fanout_u &&
+                     config_.fanout_v == other.config_.fanout_v &&
+                     config_.height == other.config_.height,
+                 "pyramids have different configurations");
+  PyramidBitmap out(cell_, config_);
+  const auto uv = static_cast<std::uint32_t>(config_.fanout_u) *
+                  static_cast<std::uint32_t>(config_.fanout_v);
+
+  // Work item: (node in a, node in b, node in out). kNone means "that side
+  // is entirely safe below this point" — copy the other side's subtree.
+  constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+  struct Item {
+    std::uint32_t a;
+    std::uint32_t b;
+    std::uint32_t target;
+  };
+  out.nodes_.push_back(Node{});
+  // FIFO processing keeps out.nodes_ in level order, which the level-order
+  // serializer requires.
+  std::vector<Item> queue{{0, 0, 0}};
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const Item item = queue[head++];
+    if (ops != nullptr) ++*ops;
+    const Node* na = item.a == kNone ? nullptr : &nodes_[item.a];
+    const Node* nb = item.b == kNone ? nullptr : &other.nodes_[item.b];
+    Node& target = out.nodes_[item.target];
+    // Level bookkeeping: the target's level was set when it was created
+    // (root = 0, children = parent + 1).
+
+    const bool a_safe = na == nullptr || na->state == State::kSafe;
+    const bool b_safe = nb == nullptr || nb->state == State::kSafe;
+    const bool a_solid = na != nullptr && na->state == State::kSolidUnsafe;
+    const bool b_solid = nb != nullptr && nb->state == State::kSolidUnsafe;
+    if (a_solid || b_solid) {
+      target.state = State::kSolidUnsafe;
+      continue;
+    }
+    if (a_safe && b_safe) {
+      target.state = State::kSafe;
+      continue;
+    }
+    // At least one side is subdivided (and neither is solid): recurse.
+    target.state = State::kSubdivided;
+    const auto first_child = static_cast<std::uint32_t>(out.nodes_.size());
+    out.nodes_[item.target].first_child = first_child;
+    const std::uint8_t child_level = out.nodes_[item.target].level + 1;
+    for (std::uint32_t c = 0; c < uv; ++c) {
+      Node child;
+      child.level = child_level;
+      out.nodes_.push_back(child);
+    }
+    for (std::uint32_t c = 0; c < uv; ++c) {
+      const std::uint32_t ca =
+          (na != nullptr && na->state == State::kSubdivided)
+              ? na->first_child + c
+              : kNone;
+      const std::uint32_t cb =
+          (nb != nullptr && nb->state == State::kSubdivided)
+              ? nb->first_child + c
+              : kNone;
+      queue.push_back({ca, cb, first_child + c});
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> PyramidBitmap::serialize() const {
+  BitWriter writer;
+  // nodes_ is already in level order, so a single pass emits the paper's
+  // level-by-level raster scan.
+  for (const Node& node : nodes_) {
+    if (node.state == State::kSafe) {
+      writer.push(true);
+      continue;
+    }
+    writer.push(false);
+    if (node.level < config_.height) {
+      writer.push(node.state == State::kSubdivided);
+    }
+  }
+  SALARM_ASSERT(writer.bit_count() == bit_size(), "bit accounting mismatch");
+  return std::move(writer).take();
+}
+
+PyramidBitmap PyramidBitmap::deserialize(const geo::Rect& cell,
+                                         const PyramidConfig& config,
+                                         std::span<const std::uint8_t> bytes,
+                                         std::size_t bit_count) {
+  validate(cell, config);
+  BitReader reader(bytes, bit_count);
+  PyramidBitmap out(cell, config);
+
+  const auto uv = static_cast<std::uint32_t>(config.fanout_u) *
+                  static_cast<std::uint32_t>(config.fanout_v);
+
+  out.nodes_.push_back(Node{});
+  // Indices of the nodes forming the current level.
+  std::vector<std::uint32_t> level_nodes{0};
+  int level = 0;
+  while (!level_nodes.empty()) {
+    SALARM_REQUIRE(level <= config.height, "bit stream deeper than height");
+    std::vector<std::uint32_t> next_level;
+    for (const std::uint32_t idx : level_nodes) {
+      const bool safe = reader.next();
+      Node& node = out.nodes_[idx];
+      node.level = static_cast<std::uint8_t>(level);
+      if (safe) {
+        node.state = State::kSafe;
+        continue;
+      }
+      const bool subdivided = level < config.height && reader.next();
+      if (!subdivided) {
+        node.state = State::kSolidUnsafe;
+        continue;
+      }
+      node.state = State::kSubdivided;
+      node.first_child = static_cast<std::uint32_t>(out.nodes_.size());
+      for (std::uint32_t c = 0; c < uv; ++c) {
+        next_level.push_back(static_cast<std::uint32_t>(out.nodes_.size()));
+        out.nodes_.push_back(Node{});
+      }
+    }
+    level_nodes = std::move(next_level);
+    ++level;
+  }
+  SALARM_REQUIRE(reader.exhausted(), "trailing bits after the pyramid");
+  return out;
+}
+
+bool operator==(const PyramidBitmap& a, const PyramidBitmap& b) {
+  if (!(a.cell_ == b.cell_) || a.config_.fanout_u != b.config_.fanout_u ||
+      a.config_.fanout_v != b.config_.fanout_v ||
+      a.config_.height != b.config_.height ||
+      a.nodes_.size() != b.nodes_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.nodes_.size(); ++i) {
+    if (a.nodes_[i].state != b.nodes_[i].state ||
+        a.nodes_[i].level != b.nodes_[i].level ||
+        (a.nodes_[i].state == PyramidBitmap::State::kSubdivided &&
+         a.nodes_[i].first_child != b.nodes_[i].first_child)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace salarm::saferegion

@@ -1,0 +1,337 @@
+#include "saferegion/wire_format.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace salarm::wire {
+
+namespace {
+
+/// Little-endian byte writer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v) {
+    for (int i = 0; i < 2; ++i) bytes_.push_back((v >> (8 * i)) & 0xFF);
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back((v >> (8 * i)) & 0xFF);
+  }
+  void f64(double v) {
+    std::uint64_t raw;
+    std::memcpy(&raw, &v, sizeof(raw));
+    for (int i = 0; i < 8; ++i) bytes_.push_back((raw >> (8 * i)) & 0xFF);
+  }
+  void raw(std::span<const std::uint8_t> data) {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
+  std::vector<std::uint8_t> take() && { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Little-endian byte reader with bounds checking.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    SALARM_REQUIRE(pos_ + 1 <= bytes_.size(), "message truncated");
+    return bytes_[pos_++];
+  }
+  std::uint16_t u16() {
+    SALARM_REQUIRE(pos_ + 2 <= bytes_.size(), "message truncated");
+    const auto v = static_cast<std::uint16_t>(
+        bytes_[pos_] | (static_cast<std::uint16_t>(bytes_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    SALARM_REQUIRE(pos_ + 4 <= bytes_.size(), "message truncated");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  double f64() {
+    SALARM_REQUIRE(pos_ + 8 <= bytes_.size(), "message truncated");
+    std::uint64_t raw = 0;
+    for (int i = 0; i < 8; ++i) {
+      raw |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    double v;
+    std::memcpy(&v, &raw, sizeof(v));
+    return v;
+  }
+  std::vector<std::uint8_t> raw(std::size_t n) {
+    SALARM_REQUIRE(pos_ + n <= bytes_.size(), "message truncated");
+    std::vector<std::uint8_t> out(bytes_.begin() + static_cast<long>(pos_),
+                                  bytes_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  void expect_done() const {
+    SALARM_REQUIRE(pos_ == bytes_.size(), "trailing bytes in message");
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+void write_string(ByteWriter& w, const std::string& s) {
+  SALARM_REQUIRE(s.size() <= 0xFFFF, "message string too long");
+  w.u16(static_cast<std::uint16_t>(s.size()));
+  w.raw({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+std::string read_string(ByteReader& r) {
+  const std::uint16_t n = r.u16();
+  const auto bytes = r.raw(n);
+  return std::string(bytes.begin(), bytes.end());
+}
+
+void write_rect(ByteWriter& w, const geo::Rect& r) {
+  w.f64(r.lo().x);
+  w.f64(r.lo().y);
+  w.f64(r.hi().x);
+  w.f64(r.hi().y);
+}
+
+geo::Rect read_rect(ByteReader& r) {
+  const double lx = r.f64();
+  const double ly = r.f64();
+  const double hx = r.f64();
+  const double hy = r.f64();
+  return geo::Rect(lx, ly, hx, hy);
+}
+
+void check_type(ByteReader& r, MessageType expected) {
+  SALARM_REQUIRE(r.u8() == static_cast<std::uint8_t>(expected),
+                 "unexpected message type");
+}
+
+constexpr std::size_t kRectBytes = 4 * 8;
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// PositionUpdate: type(1) subscriber(4) x(8) y(8) time(8) = 29 bytes
+// --------------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const PositionUpdate& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kPositionUpdate));
+  w.u32(m.subscriber);
+  w.f64(m.position.x);
+  w.f64(m.position.y);
+  w.f64(m.time_s);
+  return std::move(w).take();
+}
+
+PositionUpdate decode_position_update(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  check_type(r, MessageType::kPositionUpdate);
+  PositionUpdate m;
+  m.subscriber = r.u32();
+  m.position.x = r.f64();
+  m.position.y = r.f64();
+  m.time_s = r.f64();
+  r.expect_done();
+  return m;
+}
+
+std::size_t encoded_size(const PositionUpdate&) { return 1 + 4 + 3 * 8; }
+
+// --------------------------------------------------------------------------
+// RectSafeRegionMsg: type(1) rect(32) = 33 bytes
+// --------------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const RectSafeRegionMsg& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kRectSafeRegion));
+  write_rect(w, m.rect);
+  return std::move(w).take();
+}
+
+RectSafeRegionMsg decode_rect_safe_region(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  check_type(r, MessageType::kRectSafeRegion);
+  RectSafeRegionMsg m;
+  m.rect = read_rect(r);
+  r.expect_done();
+  return m;
+}
+
+std::size_t encoded_size(const RectSafeRegionMsg&) { return 1 + kRectBytes; }
+
+std::size_t rect_message_size() {
+  return encoded_size(RectSafeRegionMsg{});
+}
+
+// --------------------------------------------------------------------------
+// PyramidSafeRegionMsg:
+//   type(1) cell(32) u(1) v(1) h(1) bit_count(4) payload(ceil(bits/8))
+// --------------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const PyramidSafeRegionMsg& m) {
+  SALARM_REQUIRE(m.bits.size() == (m.bit_count + 7) / 8,
+                 "payload size does not match bit count");
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kPyramidSafeRegion));
+  write_rect(w, m.cell);
+  w.u8(static_cast<std::uint8_t>(m.config.fanout_u));
+  w.u8(static_cast<std::uint8_t>(m.config.fanout_v));
+  w.u8(static_cast<std::uint8_t>(m.config.height));
+  w.u32(m.bit_count);
+  w.raw(m.bits);
+  return std::move(w).take();
+}
+
+PyramidSafeRegionMsg decode_pyramid_safe_region(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  check_type(r, MessageType::kPyramidSafeRegion);
+  PyramidSafeRegionMsg m;
+  m.cell = read_rect(r);
+  m.config.fanout_u = r.u8();
+  m.config.fanout_v = r.u8();
+  m.config.height = r.u8();
+  m.bit_count = r.u32();
+  m.bits = r.raw((m.bit_count + 7) / 8);
+  r.expect_done();
+  return m;
+}
+
+std::size_t encoded_size(const PyramidSafeRegionMsg& m) {
+  return pyramid_message_size(m.bit_count);
+}
+
+std::size_t pyramid_message_size(std::size_t bit_count) {
+  return 1 + kRectBytes + 3 + 4 + (bit_count + 7) / 8;
+}
+
+saferegion::PyramidBitmap PyramidSafeRegionMsg::decode() const {
+  return saferegion::PyramidBitmap::deserialize(cell, config, bits,
+                                                bit_count);
+}
+
+PyramidSafeRegionMsg PyramidSafeRegionMsg::from(
+    const saferegion::PyramidBitmap& bitmap) {
+  PyramidSafeRegionMsg m;
+  m.cell = bitmap.cell();
+  m.config = bitmap.config();
+  m.bit_count = static_cast<std::uint32_t>(bitmap.bit_size());
+  m.bits = bitmap.serialize();
+  return m;
+}
+
+// --------------------------------------------------------------------------
+// AlarmPushMsg: type(1) cell(32) count(4) then per alarm
+//   id(4) rect(32) len(2) message
+// --------------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const AlarmPushMsg& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kAlarmPush));
+  write_rect(w, m.cell);
+  w.u32(static_cast<std::uint32_t>(m.alarms.size()));
+  for (const AlarmPushMsg::Item& item : m.alarms) {
+    w.u32(item.id);
+    write_rect(w, item.region);
+    write_string(w, item.message);
+  }
+  return std::move(w).take();
+}
+
+AlarmPushMsg decode_alarm_push(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  check_type(r, MessageType::kAlarmPush);
+  AlarmPushMsg m;
+  m.cell = read_rect(r);
+  const std::uint32_t count = r.u32();
+  m.alarms.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    AlarmPushMsg::Item item;
+    item.id = r.u32();
+    item.region = read_rect(r);
+    item.message = read_string(r);
+    m.alarms.push_back(std::move(item));
+  }
+  r.expect_done();
+  return m;
+}
+
+std::size_t encoded_size(const AlarmPushMsg& m) {
+  std::size_t message_bytes = 0;
+  for (const AlarmPushMsg::Item& item : m.alarms) {
+    message_bytes += item.message.size();
+  }
+  return alarm_push_size(m.alarms.size(), message_bytes);
+}
+
+std::size_t alarm_push_size(std::size_t alarm_count,
+                            std::size_t total_message_bytes) {
+  return 1 + kRectBytes + 4 + alarm_count * (4 + kRectBytes + 2) +
+         total_message_bytes;
+}
+
+// --------------------------------------------------------------------------
+// SafePeriodMsg: type(1) period(8) = 9 bytes
+// --------------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const SafePeriodMsg& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kSafePeriod));
+  w.f64(m.period_s);
+  return std::move(w).take();
+}
+
+SafePeriodMsg decode_safe_period(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  check_type(r, MessageType::kSafePeriod);
+  SafePeriodMsg m;
+  m.period_s = r.f64();
+  r.expect_done();
+  return m;
+}
+
+std::size_t encoded_size(const SafePeriodMsg&) { return 1 + 8; }
+
+// --------------------------------------------------------------------------
+// TriggerNoticeMsg: type(1) alarm(4) len(2) message = 7+len bytes
+// --------------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const TriggerNoticeMsg& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kTriggerNotice));
+  w.u32(m.alarm);
+  write_string(w, m.message);
+  return std::move(w).take();
+}
+
+TriggerNoticeMsg decode_trigger_notice(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  check_type(r, MessageType::kTriggerNotice);
+  TriggerNoticeMsg m;
+  m.alarm = r.u32();
+  m.message = read_string(r);
+  r.expect_done();
+  return m;
+}
+
+std::size_t encoded_size(const TriggerNoticeMsg& m) {
+  return trigger_notice_size(m.message.size());
+}
+
+std::size_t trigger_notice_size(std::size_t message_bytes) {
+  return 1 + 4 + 2 + message_bytes;
+}
+
+}  // namespace salarm::wire

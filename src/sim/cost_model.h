@@ -1,0 +1,75 @@
+// Deterministic cost models converting counted events into the units the
+// paper reports.
+//
+// The paper measures wall-clock server minutes, milliwatt-hours of client
+// energy and Mbps of downstream bandwidth on the authors' testbed. Absolute
+// values are not reproducible, but every comparative claim is driven by the
+// event counts themselves; these models apply fixed, documented constants
+// so the benches are deterministic and machine-independent (DESIGN.md §5).
+//
+// Constant rationale:
+//  * Client energy — the paper's metric is the energy "used to determine
+//    client position within the safe region" (§5.2, Figure 5(b)), i.e. the
+//    containment-determination work only; we charge 5 uWh per elementary
+//    containment operation (a periodically woken CPU/GPS duty cycle, not a
+//    single ALU op). Radio energy is modeled separately (uplink 0.1 mWh
+//    per message, ~sub-joule 3G transmission; receive 1 uWh/KB).
+//  * Server time — a commodity 2009-era server core sustains on the order
+//    of 10 million indexed-node/geometry operations per second; we charge
+//    each counted operation 0.1 us.
+#pragma once
+
+#include "sim/metrics.h"
+
+namespace salarm::sim {
+
+struct CostModel {
+  /// mWh per client->server transmission.
+  double tx_mwh_per_message = 0.1;
+  /// mWh per elementary client containment operation.
+  double check_mwh_per_op = 5e-3;
+  /// mWh per received downstream byte.
+  double rx_mwh_per_byte = 1e-6;
+  /// Server seconds per counted elementary operation.
+  double server_seconds_per_op = 1e-7;
+
+  /// Client energy spent determining the position against the safe region,
+  /// in mWh — the paper's client-energy metric (Figures 5(b), 6(c)).
+  double client_energy_mwh(const Metrics& m) const {
+    return check_mwh_per_op * static_cast<double>(m.client_check_ops);
+  }
+
+  /// Client radio energy (transmissions + received safe-region payloads),
+  /// reported alongside but not part of the paper's figures.
+  double client_radio_mwh(const Metrics& m) const {
+    return tx_mwh_per_message * static_cast<double>(m.uplink_messages) +
+           rx_mwh_per_byte * static_cast<double>(m.downstream_region_bytes +
+                                                 m.downstream_notice_bytes);
+  }
+
+  /// Downstream safe-region bandwidth in Mbps over the simulated duration
+  /// (Figure 6(b)).
+  double downstream_mbps(const Metrics& m, double duration_s) const {
+    return static_cast<double>(m.downstream_region_bytes) * 8.0 /
+           (duration_s * 1e6);
+  }
+
+  /// Modeled server time spent on alarm processing, in minutes.
+  double server_alarm_minutes(const Metrics& m) const {
+    return static_cast<double>(m.server_alarm_ops) * server_seconds_per_op /
+           60.0;
+  }
+
+  /// Modeled server time spent on safe region / safe period computation,
+  /// in minutes.
+  double server_region_minutes(const Metrics& m) const {
+    return static_cast<double>(m.server_region_ops) * server_seconds_per_op /
+           60.0;
+  }
+
+  double server_total_minutes(const Metrics& m) const {
+    return server_alarm_minutes(m) + server_region_minutes(m);
+  }
+};
+
+}  // namespace salarm::sim

@@ -1,0 +1,34 @@
+#include "sim/metrics.h"
+
+#include <sstream>
+
+namespace salarm::sim {
+
+void Metrics::merge(const Metrics& other) {
+  uplink_messages += other.uplink_messages;
+  uplink_bytes += other.uplink_bytes;
+  downstream_region_bytes += other.downstream_region_bytes;
+  downstream_notice_bytes += other.downstream_notice_bytes;
+  client_checks += other.client_checks;
+  client_check_ops += other.client_check_ops;
+  server_alarm_ops += other.server_alarm_ops;
+  server_region_ops += other.server_region_ops;
+  safe_region_recomputes += other.safe_region_recomputes;
+  triggers += other.triggers;
+  region_payload_bytes.merge(other.region_payload_bytes);
+}
+
+std::string Metrics::to_string() const {
+  std::ostringstream os;
+  os << "uplink_messages=" << uplink_messages
+     << " downstream_region_bytes=" << downstream_region_bytes
+     << " client_checks=" << client_checks
+     << " client_check_ops=" << client_check_ops
+     << " server_alarm_ops=" << server_alarm_ops
+     << " server_region_ops=" << server_region_ops
+     << " recomputes=" << safe_region_recomputes
+     << " triggers=" << triggers;
+  return os.str();
+}
+
+}  // namespace salarm::sim

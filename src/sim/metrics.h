@@ -1,0 +1,57 @@
+// Metrics collected by a simulation run.
+//
+// Every quantity the paper's evaluation reports (Figures 4-6) is derived
+// from these counted events; the CostModel (cost_model.h) performs the
+// unit conversions. Counters are raw and strategy-agnostic so runs of
+// different strategies are directly comparable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+
+namespace salarm::sim {
+
+struct Metrics {
+  // ---- Communication ----
+  /// Client-to-server position reports (the paper's "number of client-to-
+  /// server messages", Figures 4(a), 5(a), 6(a)).
+  std::uint64_t uplink_messages = 0;
+  std::uint64_t uplink_bytes = 0;
+  /// Server-to-client safe region / alarm push / safe period payload bytes
+  /// (Figure 6(b)'s downstream bandwidth).
+  std::uint64_t downstream_region_bytes = 0;
+  /// Trigger notification bytes, tracked separately: identical across
+  /// strategies for identical trigger sets, and excluded from the paper's
+  /// bandwidth comparison.
+  std::uint64_t downstream_notice_bytes = 0;
+
+  // ---- Client-side work (energy model inputs, Figures 5(b), 6(c)) ----
+  /// Number of client containment checks performed.
+  std::uint64_t client_checks = 0;
+  /// Elementary operations across those checks (rect test = 1, pyramid
+  /// descent = levels visited, OPT scan = alarms examined).
+  std::uint64_t client_check_ops = 0;
+
+  // ---- Server-side work (Figures 4(b), 6(d)) ----
+  /// R*-tree node accesses attributable to alarm processing of position
+  /// reports.
+  std::uint64_t server_alarm_ops = 0;
+  /// Elementary operations of safe region / safe period computation
+  /// (candidate processing, cell-alarm intersection tests, NN node
+  /// accesses).
+  std::uint64_t server_region_ops = 0;
+
+  // ---- Outcomes ----
+  std::uint64_t safe_region_recomputes = 0;
+  std::uint64_t triggers = 0;
+
+  /// Distribution of safe-region payload sizes (bytes) across recomputes.
+  RunningStat region_payload_bytes;
+
+  void merge(const Metrics& other);
+  std::string to_string() const;
+};
+
+}  // namespace salarm::sim

@@ -1,0 +1,55 @@
+#include "sim/oracle.h"
+
+#include <algorithm>
+#include <map>
+
+namespace salarm::sim {
+
+std::vector<alarms::TriggerEvent> ground_truth_triggers(
+    mobility::PositionSource& source, alarms::AlarmStore& store,
+    std::size_t ticks) {
+  store.reset_triggers();
+  source.reset();
+  std::vector<alarms::TriggerEvent> events;
+  for (std::size_t t = 0; t < ticks; ++t) {
+    if (t > 0) source.step();
+    const auto& samples = source.samples();
+    for (mobility::VehicleId v = 0; v < samples.size(); ++v) {
+      (void)store.process_position(v, samples[v].pos, t, &events);
+    }
+  }
+  store.reset_triggers();
+  return events;
+}
+
+AccuracyReport compare_triggers(std::vector<alarms::TriggerEvent> expected,
+                                std::vector<alarms::TriggerEvent> observed) {
+  AccuracyReport report;
+  report.expected = expected.size();
+  report.observed = observed.size();
+
+  using Pair = std::pair<alarms::AlarmId, alarms::SubscriberId>;
+  std::map<Pair, std::uint64_t> expected_ticks;
+  for (const auto& e : expected) {
+    expected_ticks.emplace(Pair{e.alarm, e.subscriber}, e.tick);
+  }
+  std::map<Pair, std::uint64_t> observed_ticks;
+  for (const auto& e : observed) {
+    observed_ticks.emplace(Pair{e.alarm, e.subscriber}, e.tick);
+  }
+
+  for (const auto& [pair, tick] : expected_ticks) {
+    const auto it = observed_ticks.find(pair);
+    if (it == observed_ticks.end()) {
+      ++report.missed;
+    } else if (it->second > tick) {
+      ++report.late;
+    }
+  }
+  for (const auto& [pair, tick] : observed_ticks) {
+    if (!expected_ticks.contains(pair)) ++report.spurious;
+  }
+  return report;
+}
+
+}  // namespace salarm::sim

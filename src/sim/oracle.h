@@ -1,0 +1,41 @@
+// Ground-truth trigger oracle.
+//
+// The paper determines "the sequence of alarms to be triggered ... by a
+// very high frequency trace of the motion pattern of the vehicles". The
+// oracle replays the identical trace and evaluates every subscriber
+// position of every tick against the full relevant alarm set, producing
+// the reference trigger sequence each strategy must reproduce exactly
+// (100% accuracy requirement).
+#pragma once
+
+#include <vector>
+
+#include "alarms/alarm_store.h"
+#include "mobility/position_source.h"
+
+namespace salarm::sim {
+
+/// Computes the ground-truth trigger events for `ticks` ticks (tick 0 =
+/// initial positions). The source is reset before and left at the end
+/// position afterwards; the store's trigger state is reset before and
+/// after (callers reset the node-access counter).
+std::vector<alarms::TriggerEvent> ground_truth_triggers(
+    mobility::PositionSource& source, alarms::AlarmStore& store,
+    std::size_t ticks);
+
+/// Compares a strategy's trigger log with the oracle's: both are sorted
+/// and must match exactly (same (alarm, subscriber, tick) events).
+struct AccuracyReport {
+  std::size_t expected = 0;
+  std::size_t observed = 0;
+  std::size_t missed = 0;    ///< in oracle, not in strategy
+  std::size_t spurious = 0;  ///< in strategy, not in oracle
+  std::size_t late = 0;      ///< right pair, later tick
+
+  bool perfect() const { return missed == 0 && spurious == 0 && late == 0; }
+};
+
+AccuracyReport compare_triggers(std::vector<alarms::TriggerEvent> expected,
+                                std::vector<alarms::TriggerEvent> observed);
+
+}  // namespace salarm::sim

@@ -1,0 +1,194 @@
+#include "sim/server.h"
+
+#include "saferegion/corner_baseline.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace salarm::sim {
+
+namespace {
+
+/// Rectangles of the relevant alarms, for the geometric safe-region
+/// algorithms.
+std::vector<geo::Rect> regions_of(
+    const std::vector<const alarms::SpatialAlarm*>& list) {
+  std::vector<geo::Rect> out;
+  out.reserve(list.size());
+  for (const alarms::SpatialAlarm* a : list) out.push_back(a->region);
+  return out;
+}
+
+}  // namespace
+
+Server::Server(alarms::AlarmStore& store, const grid::GridOverlay& grid,
+               Metrics& metrics)
+    : store_(store), grid_(grid), metrics_(metrics) {}
+
+std::vector<alarms::AlarmId> Server::handle_position_update(
+    alarms::SubscriberId s, geo::Point position, std::uint64_t tick) {
+  ++metrics_.uplink_messages;
+  metrics_.uplink_bytes += wire::encoded_size(wire::PositionUpdate{});
+  metrics_.server_alarm_ops += kOpsPerUpdateOverhead;
+  const auto fired = charged(&Metrics::server_alarm_ops, [&] {
+    return store_.process_position(s, position, tick, &trigger_log_);
+  });
+  metrics_.triggers += fired.size();
+  for (const alarms::AlarmId id : fired) {
+    metrics_.downstream_notice_bytes +=
+        wire::trigger_notice_size(store_.alarm(id).message.size());
+  }
+  return fired;
+}
+
+saferegion::RectSafeRegion Server::compute_rect_region(
+    alarms::SubscriberId s, geo::Point position, double heading,
+    const saferegion::MotionModel& model,
+    const saferegion::MwpsrOptions& options) {
+  const geo::Rect cell = grid_.cell_rect(grid_.cell_of(position));
+  const auto relevant = charged(&Metrics::server_region_ops, [&] {
+    return store_.relevant_in_window(cell, s);
+  });
+  const auto region = saferegion::compute_mwpsr(
+      position, heading, cell, regions_of(relevant), model, options);
+  metrics_.server_region_ops += region.ops;
+  ++metrics_.safe_region_recomputes;
+  const std::size_t bytes = wire::rect_message_size();
+  metrics_.downstream_region_bytes += bytes;
+  metrics_.region_payload_bytes.add(static_cast<double>(bytes));
+  return region;
+}
+
+saferegion::RectSafeRegion Server::compute_corner_baseline_region(
+    alarms::SubscriberId s, geo::Point position, double heading,
+    const saferegion::MotionModel& model) {
+  const geo::Rect cell = grid_.cell_rect(grid_.cell_of(position));
+  const auto relevant = charged(&Metrics::server_region_ops, [&] {
+    return store_.relevant_in_window(cell, s);
+  });
+  const auto region = saferegion::compute_corner_baseline(
+      position, heading, cell, regions_of(relevant), model);
+  metrics_.server_region_ops += region.ops;
+  ++metrics_.safe_region_recomputes;
+  const std::size_t bytes = wire::rect_message_size();
+  metrics_.downstream_region_bytes += bytes;
+  metrics_.region_payload_bytes.add(static_cast<double>(bytes));
+  return region;
+}
+
+void Server::enable_public_bitmap_cache(
+    const saferegion::PyramidConfig& config) {
+  cache_config_ = config;
+  public_cache_.assign(grid_.cell_count(), std::nullopt);
+}
+
+saferegion::PyramidBitmap Server::compute_pyramid_region(
+    alarms::SubscriberId s, geo::Point position,
+    const saferegion::PyramidConfig& config) {
+  const grid::CellId cell_id = grid_.cell_of(position);
+  const geo::Rect cell = grid_.cell_rect(cell_id);
+
+  auto finish = [&](saferegion::PyramidBitmap bitmap) {
+    ++metrics_.safe_region_recomputes;
+    const std::size_t bytes = wire::pyramid_message_size(bitmap.bit_size());
+    metrics_.downstream_region_bytes += bytes;
+    metrics_.region_payload_bytes.add(static_cast<double>(bytes));
+    return bitmap;
+  };
+
+  const bool cacheable =
+      cache_config_.has_value() &&
+      cache_config_->fanout_u == config.fanout_u &&
+      cache_config_->fanout_v == config.fanout_v &&
+      cache_config_->height == config.height &&
+      cache_config_->max_bits == config.max_bits;
+  if (cacheable) {
+    auto& slot = public_cache_[grid_.flat_index(cell_id)];
+    if (!slot.has_value()) {
+      // One-time, subscriber-independent work for this cell.
+      const auto public_alarms = charged(&Metrics::server_region_ops, [&] {
+        return store_.public_in_window(cell);
+      });
+      std::uint64_t build_ops = 0;
+      PublicCacheEntry entry{
+          saferegion::PyramidBitmap::build(cell, regions_of(public_alarms),
+                                           config, &build_ops),
+          {}};
+      for (const alarms::SpatialAlarm* a : public_alarms) {
+        entry.public_ids.push_back(a->id);
+      }
+      metrics_.server_region_ops += build_ops;
+      slot = std::move(entry);
+    }
+    // The cached bitmap treats every public alarm as live; if this
+    // subscriber has already spent one here, it would be needlessly
+    // conservative (the subscriber would ping from inside the spent
+    // region), so fall back to the exact per-subscriber build.
+    metrics_.server_region_ops += slot->public_ids.size();
+    const bool any_spent =
+        std::any_of(slot->public_ids.begin(), slot->public_ids.end(),
+                    [&](alarms::AlarmId id) { return store_.spent(id, s); });
+    if (!any_spent) {
+      const auto private_alarms = charged(&Metrics::server_region_ops, [&] {
+        return store_.relevant_nonpublic_in_window(cell, s);
+      });
+      if (private_alarms.empty()) {
+        ++metrics_.server_region_ops;  // cache hand-out
+        return finish(slot->bitmap);
+      }
+      std::uint64_t ops = 0;
+      auto private_bitmap = saferegion::PyramidBitmap::build(
+          cell, regions_of(private_alarms), config, &ops);
+      auto merged = slot->bitmap.intersect(private_bitmap, &ops);
+      metrics_.server_region_ops += ops;
+      return finish(std::move(merged));
+    }
+  }
+
+  const auto relevant = charged(&Metrics::server_region_ops, [&] {
+    return store_.relevant_in_window(cell, s);
+  });
+  std::uint64_t build_ops = 0;
+  auto bitmap = saferegion::PyramidBitmap::build(cell, regions_of(relevant),
+                                                 config, &build_ops);
+  metrics_.server_region_ops += build_ops;
+  return finish(std::move(bitmap));
+}
+
+double Server::compute_safe_period(alarms::SubscriberId s,
+                                   geo::Point position, double max_speed_mps,
+                                   double tick_seconds) {
+  SALARM_REQUIRE(max_speed_mps > 0.0, "speed bound must be positive");
+  SALARM_REQUIRE(tick_seconds > 0.0, "tick must be positive");
+  const double distance = charged(&Metrics::server_region_ops, [&] {
+    return store_.nearest_relevant_distance(position, s);
+  });
+  ++metrics_.safe_region_recomputes;
+  if (std::isinf(distance)) return distance;  // no relevant alarms remain
+  const std::size_t bytes = wire::encoded_size(wire::SafePeriodMsg{});
+  metrics_.downstream_region_bytes += bytes;
+  metrics_.region_payload_bytes.add(static_cast<double>(bytes));
+  return std::max(distance / max_speed_mps, tick_seconds);
+}
+
+std::vector<const alarms::SpatialAlarm*> Server::push_alarms(
+    alarms::SubscriberId s, geo::Point position) {
+  const geo::Rect cell = grid_.cell_rect(grid_.cell_of(position));
+  auto relevant = charged(&Metrics::server_region_ops, [&] {
+    return store_.relevant_in_window(cell, s);
+  });
+  ++metrics_.safe_region_recomputes;
+  std::size_t message_bytes = 0;
+  for (const alarms::SpatialAlarm* a : relevant) {
+    message_bytes += a->message.size();
+  }
+  const std::size_t bytes =
+      wire::alarm_push_size(relevant.size(), message_bytes);
+  metrics_.downstream_region_bytes += bytes;
+  metrics_.region_payload_bytes.add(static_cast<double>(bytes));
+  return relevant;
+}
+
+}  // namespace salarm::sim

@@ -1,0 +1,120 @@
+// The alarm-processing server.
+//
+// One Server instance plays the paper's server role for a whole run: it
+// receives position reports, evaluates them against the R*-tree alarm
+// index, and computes whatever the active strategy ships back (rectangular
+// safe regions, pyramid bitmaps, safe periods, or OPT alarm pushes). All
+// events are attributed to the Metrics object: R*-tree node accesses from
+// alarm processing land in server_alarm_ops, everything spent on safe
+// region / safe period computation in server_region_ops, and downstream
+// payload sizes (from the real wire formats) in downstream_region_bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "alarms/alarm_store.h"
+#include "grid/grid_overlay.h"
+#include "saferegion/motion_model.h"
+#include "saferegion/mwpsr.h"
+#include "saferegion/pyramid.h"
+#include "saferegion/wire_format.h"
+#include "sim/metrics.h"
+
+namespace salarm::sim {
+
+/// Cost-accounting weights (elementary operations). One elementary op is a
+/// rectangle comparison; an R*-tree node access scans up to a node's
+/// capacity of entries and is charged accordingly; every received position
+/// update carries fixed handling overhead (parse, session lookup, dispatch)
+/// regardless of what it hits in the index.
+inline constexpr std::uint64_t kOpsPerNodeAccess = 16;
+inline constexpr std::uint64_t kOpsPerUpdateOverhead = 25;
+
+class Server {
+ public:
+  /// The store, grid and metrics must outlive the server.
+  Server(alarms::AlarmStore& store, const grid::GridOverlay& grid,
+         Metrics& metrics);
+
+  /// Handles one client position report: counts the uplink message and
+  /// evaluates the position against the alarm index. Returns the alarms
+  /// fired for this subscriber (now spent); trigger notices are charged to
+  /// the downstream notice counter and events appended to the trigger log.
+  std::vector<alarms::AlarmId> handle_position_update(
+      alarms::SubscriberId s, geo::Point position, std::uint64_t tick);
+
+  /// Computes a rectangular (MWPSR) safe region for the subscriber at the
+  /// given position/heading and charges its wire size downstream.
+  saferegion::RectSafeRegion compute_rect_region(
+      alarms::SubscriberId s, geo::Point position, double heading,
+      const saferegion::MotionModel& model,
+      const saferegion::MwpsrOptions& options);
+
+  /// Computes the unsound Hu et al. [10]-style corner-candidate baseline
+  /// region (see saferegion/corner_baseline.h); used only by the ablation
+  /// reproducing the paper's alarm-miss claim.
+  saferegion::RectSafeRegion compute_corner_baseline_region(
+      alarms::SubscriberId s, geo::Point position, double heading,
+      const saferegion::MotionModel& model);
+
+  /// Computes a pyramid bitmap over the subscriber's current base cell and
+  /// charges its wire size downstream. With the public-bitmap cache
+  /// enabled (paper §4.2), the subscriber-independent public-alarm bitmap
+  /// is computed once per cell and intersected with the subscriber's
+  /// private-alarm bitmap; the full rebuild runs only when the subscriber
+  /// has already spent a public alarm in the cell (the cached bitmap would
+  /// be needlessly conservative there).
+  saferegion::PyramidBitmap compute_pyramid_region(
+      alarms::SubscriberId s, geo::Point position,
+      const saferegion::PyramidConfig& config);
+
+  /// Enables the precomputed public-alarm bitmap cache for the given
+  /// pyramid configuration (one configuration per run).
+  void enable_public_bitmap_cache(const saferegion::PyramidConfig& config);
+
+  /// Computes the safe-period grant: distance to the nearest relevant
+  /// alarm region over the worst-case speed bound, clamped below by one
+  /// tick. Returns infinity when no relevant alarm remains.
+  double compute_safe_period(alarms::SubscriberId s, geo::Point position,
+                             double max_speed_mps, double tick_seconds);
+
+  /// OPT: all relevant alarms intersecting the subscriber's current cell,
+  /// charged downstream at the alarm-push wire size.
+  std::vector<const alarms::SpatialAlarm*> push_alarms(
+      alarms::SubscriberId s, geo::Point position);
+
+  const grid::GridOverlay& grid() const { return grid_; }
+  alarms::AlarmStore& store() { return store_; }
+  Metrics& metrics() { return metrics_; }
+  const std::vector<alarms::TriggerEvent>& trigger_log() const {
+    return trigger_log_;
+  }
+
+ private:
+  /// Runs fn and attributes the R*-tree node accesses it incurs to the
+  /// given counter, weighted by kOpsPerNodeAccess.
+  template <typename Fn>
+  auto charged(std::uint64_t Metrics::* counter, Fn&& fn) {
+    const std::uint64_t before = store_.index_node_accesses();
+    auto result = fn();
+    metrics_.*counter +=
+        (store_.index_node_accesses() - before) * kOpsPerNodeAccess;
+    return result;
+  }
+
+  alarms::AlarmStore& store_;
+  const grid::GridOverlay& grid_;
+  Metrics& metrics_;
+  std::vector<alarms::TriggerEvent> trigger_log_;
+
+  struct PublicCacheEntry {
+    saferegion::PyramidBitmap bitmap;
+    std::vector<alarms::AlarmId> public_ids;
+  };
+  std::optional<saferegion::PyramidConfig> cache_config_;
+  std::vector<std::optional<PublicCacheEntry>> public_cache_;
+};
+
+}  // namespace salarm::sim

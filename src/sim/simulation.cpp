@@ -1,0 +1,62 @@
+#include "sim/simulation.h"
+
+#include <chrono>
+
+#include "common/error.h"
+
+namespace salarm::sim {
+
+Simulation::Simulation(mobility::PositionSource& source,
+                       alarms::AlarmStore& store,
+                       const grid::GridOverlay& grid, std::size_t ticks)
+    : source_(source), store_(store), grid_(grid), ticks_(ticks) {
+  SALARM_REQUIRE(ticks >= 2, "simulation needs at least two ticks");
+  SALARM_REQUIRE(grid.universe().contains(source.extent()),
+                 "grid universe must cover the position source's extent");
+}
+
+const std::vector<alarms::TriggerEvent>& Simulation::oracle() {
+  if (!oracle_.has_value()) {
+    oracle_ = ground_truth_triggers(source_, store_, ticks_);
+    store_.reset_index_node_accesses();
+  }
+  return *oracle_;
+}
+
+RunResult Simulation::run(const StrategyFactory& factory) {
+  const auto& expected = oracle();  // ensure cached before timing the run
+
+  store_.reset_triggers();
+  store_.reset_index_node_accesses();
+  source_.reset();
+
+  RunResult result;
+  result.ticks = ticks_;
+  result.subscribers = source_.vehicle_count();
+  result.duration_s = duration_s();
+
+  Server server(store_, grid_, result.metrics);
+  const auto strategy = factory(server);
+  result.strategy = std::string(strategy->name());
+
+  const auto start = std::chrono::steady_clock::now();
+  for (mobility::VehicleId v = 0; v < source_.samples().size(); ++v) {
+    strategy->initialize(v, source_.samples()[v]);
+  }
+  for (std::size_t t = 1; t < ticks_; ++t) {
+    source_.step();
+    const auto& samples = source_.samples();
+    for (mobility::VehicleId v = 0; v < samples.size(); ++v) {
+      strategy->on_tick(v, samples[v], t);
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_seconds =
+      std::chrono::duration<double>(end - start).count();
+
+  result.accuracy = compare_triggers(expected, server.trigger_log());
+  store_.reset_triggers();
+  return result;
+}
+
+}  // namespace salarm::sim

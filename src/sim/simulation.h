@@ -1,0 +1,72 @@
+// Trace-driven simulation engine.
+//
+// A Simulation owns one (network, alarms, trace, grid) workload and runs
+// any number of processing strategies against the *identical* motion
+// pattern — the paper's methodology for comparing PRD, SP, MWPSR, GBSR/
+// PBSR and OPT. Each run gets a fresh Server and Metrics; the ground-truth
+// oracle is computed once and every run is scored against it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alarms/alarm_store.h"
+#include "grid/grid_overlay.h"
+#include "mobility/position_source.h"
+#include "sim/metrics.h"
+#include "sim/oracle.h"
+#include "sim/server.h"
+#include "strategies/strategy.h"
+
+namespace salarm::sim {
+
+struct RunResult {
+  std::string strategy;
+  Metrics metrics;
+  AccuracyReport accuracy;
+  std::size_t ticks = 0;
+  std::size_t subscribers = 0;
+  double duration_s = 0.0;
+  /// Real wall-clock seconds the run took (informational; the cost models
+  /// use counted events, not wall time).
+  double wall_seconds = 0.0;
+};
+
+class Simulation {
+ public:
+  /// The source, store and grid must outlive the simulation. `ticks`
+  /// counts the initial positions as tick 0 and must be >= 2. Any
+  /// PositionSource works: the road-network trace generator, the
+  /// random-waypoint model, or a recorded/imported trace.
+  Simulation(mobility::PositionSource& source, alarms::AlarmStore& store,
+             const grid::GridOverlay& grid, std::size_t ticks);
+
+  /// Builds a strategy against the given server; called once per run.
+  using StrategyFactory =
+      std::function<std::unique_ptr<strategies::ProcessingStrategy>(Server&)>;
+
+  /// Replays the trace from the start under a fresh strategy instance and
+  /// returns its metrics and accuracy against the oracle.
+  RunResult run(const StrategyFactory& factory);
+
+  /// Ground-truth trigger events (computed on first use, then cached).
+  const std::vector<alarms::TriggerEvent>& oracle();
+
+  std::size_t ticks() const { return ticks_; }
+  double tick_seconds() const { return source_.tick_seconds(); }
+  double duration_s() const {
+    return static_cast<double>(ticks_) * tick_seconds();
+  }
+
+ private:
+  mobility::PositionSource& source_;
+  alarms::AlarmStore& store_;
+  const grid::GridOverlay& grid_;
+  std::size_t ticks_;
+  std::optional<std::vector<alarms::TriggerEvent>> oracle_;
+};
+
+}  // namespace salarm::sim

@@ -1,0 +1,64 @@
+#include "strategies/bitmap_region_strategy.h"
+
+#include "common/error.h"
+
+namespace salarm::strategies {
+
+BitmapRegionStrategy::BitmapRegionStrategy(sim::Server& server,
+                                           std::size_t subscriber_count,
+                                           saferegion::PyramidConfig config,
+                                           bool use_public_cache)
+    : server_(server), config_(config), bitmaps_(subscriber_count) {
+  if (use_public_cache) server_.enable_public_bitmap_cache(config);
+}
+
+void BitmapRegionStrategy::set_downstream_loss(double rate,
+                                               std::uint64_t seed) {
+  SALARM_REQUIRE(rate >= 0.0 && rate < 1.0, "loss rate must be in [0, 1)");
+  downstream_loss_ = rate;
+  loss_rng_.emplace(seed);
+}
+
+void BitmapRegionStrategy::refresh(alarms::SubscriberId s,
+                                   geo::Point position) {
+  auto bitmap = server_.compute_pyramid_region(s, position, config_);
+  // Injected downstream loss: the client keeps its previous (still sound)
+  // bitmap — or none — and will report again next tick.
+  if (downstream_loss_ > 0.0 && loss_rng_->chance(downstream_loss_)) return;
+  bitmaps_[s] = std::move(bitmap);
+}
+
+void BitmapRegionStrategy::initialize(alarms::SubscriberId s,
+                                      const mobility::VehicleSample& sample) {
+  (void)server_.handle_position_update(s, sample.pos, 0);
+  refresh(s, sample.pos);
+}
+
+void BitmapRegionStrategy::on_tick(alarms::SubscriberId s,
+                                   const mobility::VehicleSample& sample,
+                                   std::uint64_t tick) {
+  auto& bitmap = bitmaps_[s];
+  auto& metrics = server_.metrics();
+
+  // Base-cell exit: report and fetch the new cell's bitmap. The cell
+  // membership test is part of the client's per-tick containment work.
+  ++metrics.client_checks;
+  ++metrics.client_check_ops;
+  if (!bitmap.has_value() || !bitmap->cell().contains(sample.pos)) {
+    (void)server_.handle_position_update(s, sample.pos, tick);
+    refresh(s, sample.pos);
+    return;
+  }
+
+  // Pyramid descent; cost = levels visited.
+  const auto containment = bitmap->locate(sample.pos);
+  metrics.client_check_ops += static_cast<std::uint64_t>(containment.levels);
+  if (containment.safe) return;
+
+  // Outside the safe region but inside the base cell: report so the server
+  // evaluates alarms. Only an actual trigger changes the safe region.
+  const auto fired = server_.handle_position_update(s, sample.pos, tick);
+  if (!fired.empty()) refresh(s, sample.pos);
+}
+
+}  // namespace salarm::strategies

@@ -1,0 +1,60 @@
+// GBSR / PBSR — distributed bitmap safe-region processing (paper §4).
+//
+// The client holds the pyramid bitmap of its current base grid cell and
+// performs one pyramid descent per tick (cost = levels visited). Protocol,
+// per paper §4.2:
+//
+//  * Leaving the base cell — report; the server builds and ships the new
+//    cell's bitmap (the only *scheduled* recomputation point).
+//  * Inside the base cell but on an unsafe (0) cell — report the position
+//    so the server can evaluate alarms; no recomputation and no downstream
+//    traffic unless an alarm actually fires.
+//  * An alarm fires while the subscriber stays in the base cell — the
+//    alarm is now spent for this subscriber, so the server refreshes the
+//    bitmap "by considering the triggered alarm to be a part of the safe
+//    region" and ships the (now more permissive) bitmap.
+//
+// GBSR is this strategy with PyramidConfig::height = 1.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "saferegion/pyramid.h"
+#include "strategies/strategy.h"
+
+namespace salarm::strategies {
+
+class BitmapRegionStrategy final : public ProcessingStrategy {
+ public:
+  /// `use_public_cache` enables the server's precomputed public-alarm
+  /// bitmap path (paper §4.2).
+  BitmapRegionStrategy(sim::Server& server, std::size_t subscriber_count,
+                       saferegion::PyramidConfig config,
+                       bool use_public_cache = false);
+
+  std::string_view name() const override {
+    return config_.height == 1 ? "GBSR" : "PBSR";
+  }
+
+  void initialize(alarms::SubscriberId s,
+                  const mobility::VehicleSample& sample) override;
+  void on_tick(alarms::SubscriberId s, const mobility::VehicleSample& sample,
+               std::uint64_t tick) override;
+
+  /// Failure injection: drop this fraction of downstream bitmap messages
+  /// (see RectRegionStrategy::set_downstream_loss).
+  void set_downstream_loss(double rate, std::uint64_t seed);
+
+ private:
+  void refresh(alarms::SubscriberId s, geo::Point position);
+
+  sim::Server& server_;
+  saferegion::PyramidConfig config_;
+  std::vector<std::optional<saferegion::PyramidBitmap>> bitmaps_;
+  double downstream_loss_ = 0.0;
+  std::optional<Rng> loss_rng_;
+};
+
+}  // namespace salarm::strategies

@@ -1,0 +1,60 @@
+#include "strategies/optimal.h"
+
+#include <algorithm>
+
+namespace salarm::strategies {
+
+OptimalStrategy::OptimalStrategy(sim::Server& server,
+                                 std::size_t subscriber_count)
+    : server_(server), clients_(subscriber_count) {}
+
+void OptimalStrategy::fetch_cell(alarms::SubscriberId s,
+                                 geo::Point position) {
+  ClientState state;
+  state.cell = server_.grid().cell_rect(server_.grid().cell_of(position));
+  for (const alarms::SpatialAlarm* a : server_.push_alarms(s, position)) {
+    state.alarms.emplace_back(a->id, a->region);
+  }
+  clients_[s] = std::move(state);
+}
+
+void OptimalStrategy::initialize(alarms::SubscriberId s,
+                                 const mobility::VehicleSample& sample) {
+  (void)server_.handle_position_update(s, sample.pos, 0);
+  fetch_cell(s, sample.pos);
+}
+
+void OptimalStrategy::on_tick(alarms::SubscriberId s,
+                              const mobility::VehicleSample& sample,
+                              std::uint64_t tick) {
+  auto& state = clients_[s];
+  auto& metrics = server_.metrics();
+
+  // Cell membership is part of the per-tick client work.
+  ++metrics.client_checks;
+  ++metrics.client_check_ops;
+  if (!state.has_value() || !state->cell.contains(sample.pos)) {
+    (void)server_.handle_position_update(s, sample.pos, tick);
+    fetch_cell(s, sample.pos);
+    return;
+  }
+
+  // Full client-side evaluation: one test per pushed alarm.
+  metrics.client_check_ops += state->alarms.size();
+  const bool hit = std::any_of(
+      state->alarms.begin(), state->alarms.end(),
+      [&](const auto& entry) {
+        return entry.second.interior_contains(sample.pos);
+      });
+  if (!hit) return;
+
+  // Spatial constraints met: report; the server fires and spends the
+  // alarms, and the client prunes its local copies.
+  const auto fired = server_.handle_position_update(s, sample.pos, tick);
+  for (const alarms::AlarmId id : fired) {
+    std::erase_if(state->alarms,
+                  [id](const auto& entry) { return entry.first == id; });
+  }
+}
+
+}  // namespace salarm::strategies

@@ -1,0 +1,34 @@
+// PRD — periodic evaluation baseline (paper §1, §5).
+//
+// The client transmits every position sample; the server evaluates each
+// against the alarm index. Trivially accurate and trivially unscalable:
+// with the paper's trace this is the full 60M-message firehose, which is
+// why Figure 6(a) leaves it off the chart.
+#pragma once
+
+#include "sim/metrics.h"
+#include "strategies/strategy.h"
+
+namespace salarm::strategies {
+
+class PeriodicStrategy final : public ProcessingStrategy {
+ public:
+  explicit PeriodicStrategy(sim::Server& server) : server_(server) {}
+
+  std::string_view name() const override { return "PRD"; }
+
+  void initialize(alarms::SubscriberId s,
+                  const mobility::VehicleSample& sample) override {
+    (void)server_.handle_position_update(s, sample.pos, 0);
+  }
+
+  void on_tick(alarms::SubscriberId s, const mobility::VehicleSample& sample,
+               std::uint64_t tick) override {
+    (void)server_.handle_position_update(s, sample.pos, tick);
+  }
+
+ private:
+  sim::Server& server_;
+};
+
+}  // namespace salarm::strategies

@@ -1,0 +1,64 @@
+// MWPSR — distributed rectangular safe-region processing (paper §3).
+//
+// The client monitors its position against a rectangular safe region with
+// one containment test per tick (charged to the client energy model). When
+// it exits the region it reports; the server evaluates the position against
+// the alarm index (alarm processing) and ships a fresh maximum weighted
+// perimeter rectangle (safe region computation + downstream bytes).
+//
+// The non-weighted variant of Figure 4 is the same strategy with
+// MwpsrOptions::weighted = false.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "saferegion/motion_model.h"
+#include "saferegion/mwpsr.h"
+#include "strategies/strategy.h"
+
+namespace salarm::strategies {
+
+class RectRegionStrategy final : public ProcessingStrategy {
+ public:
+  /// `corner_baseline` selects the unsound Hu et al. [10]-style region
+  /// computation instead of MWPSR — ablation only; it misses alarms by
+  /// design (the paper's claim about [10]).
+  RectRegionStrategy(sim::Server& server, std::size_t subscriber_count,
+                     saferegion::MotionModel model,
+                     saferegion::MwpsrOptions options = {},
+                     bool corner_baseline = false);
+
+  std::string_view name() const override {
+    if (corner_baseline_) return "RECT[10]";
+    return options_.weighted ? "MWPSR" : "RECT";
+  }
+
+  void initialize(alarms::SubscriberId s,
+                  const mobility::VehicleSample& sample) override;
+  void on_tick(alarms::SubscriberId s, const mobility::VehicleSample& sample,
+               std::uint64_t tick) override;
+
+  /// Failure injection: drop this fraction of downstream safe-region
+  /// messages (the server still spends the computation and the bytes; the
+  /// client keeps its previous — still sound — region). Accuracy must
+  /// survive any loss rate; only the message count suffers
+  /// (bench/robustness_loss).
+  void set_downstream_loss(double rate, std::uint64_t seed);
+
+ private:
+  void report_and_refresh(alarms::SubscriberId s,
+                          const mobility::VehicleSample& sample,
+                          std::uint64_t tick);
+
+  sim::Server& server_;
+  saferegion::MotionModel model_;
+  saferegion::MwpsrOptions options_;
+  bool corner_baseline_;
+  std::vector<std::optional<geo::Rect>> regions_;
+  double downstream_loss_ = 0.0;
+  std::optional<Rng> loss_rng_;
+};
+
+}  // namespace salarm::strategies

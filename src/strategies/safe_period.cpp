@@ -1,0 +1,47 @@
+#include "strategies/safe_period.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include <limits>
+
+namespace salarm::strategies {
+
+SafePeriodStrategy::SafePeriodStrategy(sim::Server& server,
+                                       std::size_t subscriber_count,
+                                       double max_speed_mps,
+                                       double tick_seconds,
+                                       double speed_assumption_factor)
+    : server_(server),
+      assumed_speed_mps_(max_speed_mps * speed_assumption_factor),
+      tick_seconds_(tick_seconds),
+      next_report_s_(subscriber_count, 0.0) {
+  SALARM_REQUIRE(speed_assumption_factor > 0.0,
+                 "speed assumption factor must be positive");
+}
+
+void SafePeriodStrategy::report(alarms::SubscriberId s, geo::Point position,
+                                std::uint64_t tick) {
+  (void)server_.handle_position_update(s, position, tick);
+  const double period = server_.compute_safe_period(
+      s, position, assumed_speed_mps_, tick_seconds_);
+  const double now = static_cast<double>(tick) * tick_seconds_;
+  next_report_s_[s] = std::isinf(period)
+                          ? std::numeric_limits<double>::infinity()
+                          : now + period;
+}
+
+void SafePeriodStrategy::initialize(alarms::SubscriberId s,
+                                    const mobility::VehicleSample& sample) {
+  report(s, sample.pos, 0);
+}
+
+void SafePeriodStrategy::on_tick(alarms::SubscriberId s,
+                                 const mobility::VehicleSample& sample,
+                                 std::uint64_t tick) {
+  const double now = static_cast<double>(tick) * tick_seconds_;
+  if (now < next_report_s_[s]) return;  // still inside the safe period
+  report(s, sample.pos, tick);
+}
+
+ }  // namespace salarm::strategies

@@ -1,0 +1,142 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "alarms/grid_index.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "index/rstar_tree.h"
+
+namespace salarm::alarms {
+namespace {
+
+using geo::Point;
+using geo::Rect;
+
+const Rect kUniverse(0, 0, 10000, 10000);
+
+TEST(GridAlarmIndexTest, InsertEraseBasics) {
+  grid::GridOverlay overlay(kUniverse, 10, 10);
+  GridAlarmIndex index(overlay);
+  EXPECT_EQ(index.size(), 0u);
+  index.insert(0, Rect(100, 100, 300, 300));
+  index.insert(1, Rect(900, 900, 1200, 1100));  // spans multiple buckets
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_TRUE(index.erase(0, Rect(100, 100, 300, 300)));
+  EXPECT_FALSE(index.erase(0, Rect(100, 100, 300, 300)));
+  EXPECT_FALSE(index.erase(1, Rect(0, 0, 1, 1)));  // wrong region
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(GridAlarmIndexTest, RejectsOutOfUniverseRegion) {
+  grid::GridOverlay overlay(kUniverse, 10, 10);
+  GridAlarmIndex index(overlay);
+  EXPECT_THROW(index.insert(0, Rect(9000, 9000, 11000, 9500)),
+               salarm::PreconditionError);
+}
+
+TEST(GridAlarmIndexTest, SpanningAlarmVisitedOnce) {
+  grid::GridOverlay overlay(kUniverse, 10, 10);
+  GridAlarmIndex index(overlay);
+  // Covers a 3x3 block of buckets.
+  index.insert(7, Rect(1500, 1500, 3500, 3500));
+  int visits = 0;
+  index.visit(Rect(0, 0, 10000, 10000), [&](AlarmId id, const Rect&) {
+    EXPECT_EQ(id, 7u);
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(GridAlarmIndexTest, ContainingPoint) {
+  grid::GridOverlay overlay(kUniverse, 10, 10);
+  GridAlarmIndex index(overlay);
+  index.insert(0, Rect(100, 100, 500, 500));
+  index.insert(1, Rect(400, 400, 900, 900));
+  auto hits = index.containing({450, 450});
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<AlarmId>{0, 1}));
+  EXPECT_TRUE(index.containing({5000, 5000}).empty());
+}
+
+TEST(GridAlarmIndexTest, BucketAccessCounter) {
+  grid::GridOverlay overlay(kUniverse, 10, 10);
+  GridAlarmIndex index(overlay);
+  index.insert(0, Rect(100, 100, 200, 200));
+  index.reset_bucket_accesses();
+  (void)index.containing({150, 150});
+  EXPECT_EQ(index.bucket_accesses(), 1u);  // point query = one bucket
+  (void)index.containing({150, 150});
+  EXPECT_EQ(index.bucket_accesses(), 2u);
+  // A window spanning 4 buckets.
+  index.visit(Rect(500, 500, 1500, 1500),
+              [](AlarmId, const Rect&) { return true; });
+  EXPECT_EQ(index.bucket_accesses(), 6u);
+}
+
+class GridIndexEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridIndexEquivalenceTest, AgreesWithRStarTree) {
+  Rng rng(GetParam());
+  grid::GridOverlay overlay(kUniverse, 16, 16);
+  GridAlarmIndex grid_index(overlay);
+  index::RStarTree tree;
+
+  std::vector<std::pair<AlarmId, Rect>> reference;
+  for (AlarmId id = 0; id < 500; ++id) {
+    const Point c{rng.uniform(300, 9700), rng.uniform(300, 9700)};
+    const Rect region = Rect::centered_square(c, rng.uniform(50, 500));
+    grid_index.insert(id, region);
+    tree.insert({region, id});
+    reference.emplace_back(id, region);
+  }
+
+  // Random window queries agree with the tree and with brute force.
+  for (int q = 0; q < 60; ++q) {
+    const Point c{rng.uniform(0, 10000), rng.uniform(0, 10000)};
+    const auto window =
+        Rect::centered_square(c, rng.uniform(100, 3000)).intersection(
+            kUniverse);
+    if (!window) continue;
+    std::set<AlarmId> from_grid;
+    grid_index.visit(*window, [&](AlarmId id, const Rect&) {
+      from_grid.insert(id);
+      return true;
+    });
+    std::set<AlarmId> from_tree;
+    for (const auto& e : tree.search(*window)) {
+      from_tree.insert(static_cast<AlarmId>(e.id));
+    }
+    std::set<AlarmId> brute;
+    for (const auto& [id, region] : reference) {
+      if (region.intersects(*window)) brute.insert(id);
+    }
+    EXPECT_EQ(from_grid, brute);
+    EXPECT_EQ(from_tree, brute);
+  }
+
+  // Erase half and re-check point queries.
+  for (std::size_t i = 0; i < reference.size(); i += 2) {
+    EXPECT_TRUE(grid_index.erase(reference[i].first, reference[i].second));
+  }
+  for (int q = 0; q < 40; ++q) {
+    const Point p{rng.uniform(0, 10000), rng.uniform(0, 10000)};
+    auto hits = grid_index.containing(p);
+    std::sort(hits.begin(), hits.end());
+    std::vector<AlarmId> brute;
+    for (std::size_t i = 1; i < reference.size(); i += 2) {
+      if (reference[i].second.contains(p)) brute.push_back(reference[i].first);
+    }
+    std::sort(brute.begin(), brute.end());
+    EXPECT_EQ(hits, brute);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridIndexEquivalenceTest,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace salarm::alarms

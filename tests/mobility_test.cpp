@@ -1,0 +1,212 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "mobility/trace.h"
+#include "mobility/trace_generator.h"
+#include "roadnet/network_builder.h"
+
+namespace salarm::mobility {
+namespace {
+
+roadnet::RoadNetwork test_network(std::uint64_t seed = 2) {
+  roadnet::NetworkConfig cfg;
+  cfg.width_m = 8000;
+  cfg.height_m = 8000;
+  cfg.spacing_m = 1000;
+  Rng rng(seed);
+  return roadnet::build_synthetic_network(cfg, rng);
+}
+
+TraceConfig small_trace_config() {
+  TraceConfig cfg;
+  cfg.vehicle_count = 50;
+  cfg.tick_seconds = 1.0;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(RecordedTraceTest, AppendAndAccess) {
+  RecordedTrace trace(2, 0.5);
+  trace.append_tick({{{1, 2}, 0.0, 5.0}, {{3, 4}, 1.0, 6.0}});
+  trace.append_tick({{{1, 3}, 0.0, 5.0}, {{3, 5}, 1.0, 6.0}});
+  EXPECT_EQ(trace.tick_count(), 2u);
+  EXPECT_EQ(trace.vehicle_count(), 2u);
+  EXPECT_DOUBLE_EQ(trace.duration_seconds(), 1.0);
+  EXPECT_EQ(trace.sample(1, 1).pos, (geo::Point{3, 5}));
+  EXPECT_THROW(trace.sample(2, 0), salarm::PreconditionError);
+  EXPECT_THROW(trace.sample(0, 2), salarm::PreconditionError);
+  EXPECT_THROW(trace.append_tick({{{0, 0}, 0.0, 0.0}}),
+               salarm::PreconditionError);
+}
+
+TEST(TraceGeneratorTest, RejectsBadConfig) {
+  const auto net = test_network();
+  TraceConfig cfg = small_trace_config();
+  cfg.vehicle_count = 0;
+  EXPECT_THROW(TraceGenerator(net, cfg), salarm::PreconditionError);
+  cfg = small_trace_config();
+  cfg.tick_seconds = 0;
+  EXPECT_THROW(TraceGenerator(net, cfg), salarm::PreconditionError);
+  cfg = small_trace_config();
+  cfg.speed_factor_lo = 0;
+  EXPECT_THROW(TraceGenerator(net, cfg), salarm::PreconditionError);
+}
+
+TEST(TraceGeneratorTest, PositionsStayOnTheMap) {
+  const auto net = test_network();
+  const geo::Rect box = net.bounding_box();
+  TraceGenerator gen(net, small_trace_config());
+  for (int t = 0; t < 300; ++t) {
+    gen.step();
+    for (const VehicleSample& s : gen.samples()) {
+      EXPECT_TRUE(box.contains(s.pos))
+          << "tick " << t << ": (" << s.pos.x << ',' << s.pos.y << ')';
+    }
+  }
+}
+
+TEST(TraceGeneratorTest, SpeedsAreBoundedByNetworkPhysics) {
+  const auto net = test_network();
+  TraceConfig cfg = small_trace_config();
+  TraceGenerator gen(net, cfg);
+  // Bound: fastest road * highest vehicle factor * generous noise margin.
+  const double bound = net.max_speed_mps() * cfg.speed_factor_hi * 1.5;
+  for (int t = 0; t < 300; ++t) {
+    const auto before = gen.samples();
+    gen.step();
+    const auto& after = gen.samples();
+    for (std::size_t v = 0; v < after.size(); ++v) {
+      const double moved = geo::distance(before[v].pos, after[v].pos);
+      EXPECT_LE(moved, bound * cfg.tick_seconds + 1e-9);
+      EXPECT_LE(after[v].speed_mps, bound + 1e-9);
+    }
+  }
+}
+
+TEST(TraceGeneratorTest, VehiclesActuallyMove) {
+  const auto net = test_network();
+  TraceGenerator gen(net, small_trace_config());
+  const auto start = gen.samples();
+  for (int t = 0; t < 120; ++t) gen.step();
+  const auto& end = gen.samples();
+  std::size_t moved = 0;
+  for (std::size_t v = 0; v < end.size(); ++v) {
+    if (geo::distance(start[v].pos, end[v].pos) > 100.0) ++moved;
+  }
+  // Nearly all vehicles should have traveled far after two minutes.
+  EXPECT_GT(moved, end.size() * 8 / 10);
+}
+
+TEST(TraceGeneratorTest, ResetReplaysIdentically) {
+  const auto net = test_network();
+  TraceGenerator gen(net, small_trace_config());
+  std::vector<std::vector<VehicleSample>> first;
+  first.push_back(gen.samples());
+  for (int t = 0; t < 50; ++t) {
+    gen.step();
+    first.push_back(gen.samples());
+  }
+  gen.reset();
+  EXPECT_EQ(gen.tick_index(), 0u);
+  EXPECT_DOUBLE_EQ(gen.time_seconds(), 0.0);
+  for (std::size_t t = 0; t < first.size(); ++t) {
+    const auto& replay = gen.samples();
+    ASSERT_EQ(replay.size(), first[t].size());
+    for (std::size_t v = 0; v < replay.size(); ++v) {
+      EXPECT_EQ(replay[v].pos, first[t][v].pos) << "t=" << t << " v=" << v;
+      EXPECT_DOUBLE_EQ(replay[v].speed_mps, first[t][v].speed_mps);
+    }
+    if (t + 1 < first.size()) gen.step();
+  }
+}
+
+TEST(TraceGeneratorTest, TwoGeneratorsSameSeedAgree) {
+  const auto net = test_network();
+  TraceGenerator a(net, small_trace_config());
+  TraceGenerator b(net, small_trace_config());
+  for (int t = 0; t < 30; ++t) {
+    a.step();
+    b.step();
+    for (std::size_t v = 0; v < a.samples().size(); ++v) {
+      EXPECT_EQ(a.samples()[v].pos, b.samples()[v].pos);
+    }
+  }
+}
+
+TEST(TraceGeneratorTest, DifferentSeedsDiverge) {
+  const auto net = test_network();
+  TraceConfig cfg = small_trace_config();
+  TraceGenerator a(net, cfg);
+  cfg.seed = 8;
+  TraceGenerator b(net, cfg);
+  a.step();
+  b.step();
+  std::size_t different = 0;
+  for (std::size_t v = 0; v < a.samples().size(); ++v) {
+    if (!(a.samples()[v].pos == b.samples()[v].pos)) ++different;
+  }
+  EXPECT_GT(different, 0u);
+}
+
+TEST(TraceGeneratorTest, RecordMatchesStreaming) {
+  const auto net = test_network();
+  TraceGenerator recording(net, small_trace_config());
+  const RecordedTrace trace = recording.record(40);
+  EXPECT_EQ(trace.tick_count(), 40u);
+
+  TraceGenerator streaming(net, small_trace_config());
+  for (std::size_t t = 0; t < trace.tick_count(); ++t) {
+    for (std::size_t v = 0; v < trace.vehicle_count(); ++v) {
+      EXPECT_EQ(trace.sample(t, static_cast<VehicleId>(v)).pos,
+                streaming.samples()[v].pos);
+    }
+    if (t + 1 < trace.tick_count()) streaming.step();
+  }
+}
+
+TEST(TraceGeneratorTest, HeadingTracksMotion) {
+  const auto net = test_network();
+  TraceGenerator gen(net, small_trace_config());
+  for (int t = 0; t < 100; ++t) {
+    const auto before = gen.samples();
+    gen.step();
+    const auto& after = gen.samples();
+    for (std::size_t v = 0; v < after.size(); ++v) {
+      const geo::Point moved = after[v].pos - before[v].pos;
+      if (geo::norm(moved) > 1e-6) {
+        EXPECT_NEAR(after[v].heading, geo::heading(moved), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(TraceGeneratorTest, DwellPausesVehicles) {
+  // With an enormous dwell, vehicles that arrive stay parked.
+  const auto net = test_network();
+  TraceConfig cfg = small_trace_config();
+  cfg.max_dwell_seconds = 1e9;
+  TraceGenerator gen(net, cfg);
+  std::size_t parked_checks = 0;
+  std::vector<geo::Point> parked_pos(cfg.vehicle_count);
+  std::vector<bool> parked(cfg.vehicle_count, false);
+  for (int t = 0; t < 400; ++t) {
+    gen.step();
+    const auto& s = gen.samples();
+    for (std::size_t v = 0; v < s.size(); ++v) {
+      if (parked[v]) {
+        EXPECT_EQ(s[v].pos, parked_pos[v]);
+        ++parked_checks;
+      } else if (s[v].speed_mps == 0.0 && t > 0) {
+        parked[v] = true;
+        parked_pos[v] = s[v].pos;
+      }
+    }
+  }
+  EXPECT_GT(parked_checks, 0u);  // at least one vehicle arrived and parked
+}
+
+}  // namespace
+}  // namespace salarm::mobility

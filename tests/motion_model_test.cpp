@@ -1,0 +1,153 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "saferegion/motion_model.h"
+
+namespace salarm::saferegion {
+namespace {
+
+TEST(MotionModelTest, RejectsBadParameters) {
+  EXPECT_THROW(MotionModel(1.0, 0), salarm::PreconditionError);
+  EXPECT_THROW(MotionModel(-0.5, 4), salarm::PreconditionError);
+  EXPECT_THROW(MotionModel(4.0, 4), salarm::PreconditionError);  // y/z < 1
+  EXPECT_NO_THROW(MotionModel(1.0, 2));
+  EXPECT_NO_THROW(MotionModel(3.9, 4));
+}
+
+TEST(MotionModelTest, UniformModelIsFlat) {
+  const MotionModel m = MotionModel::uniform();
+  for (double phi = -M_PI; phi <= M_PI; phi += 0.1) {
+    EXPECT_NEAR(m.pdf(phi), 1.0 / (2.0 * M_PI), 1e-12);
+  }
+}
+
+class MotionModelZTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MotionModelZTest, IntegratesToOne) {
+  const int z = GetParam();
+  const MotionModel m(1.0, z);
+  EXPECT_NEAR(m.mass(-M_PI, M_PI), 1.0, 1e-9);
+  // Also via fine Riemann sum as an independent check.
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double phi = -M_PI + (i + 0.5) * 2.0 * M_PI / n;
+    sum += m.pdf(phi) * 2.0 * M_PI / n;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-3);
+}
+
+TEST_P(MotionModelZTest, PeakAndFloorMatchFigure1b) {
+  const int z = GetParam();
+  const MotionModel m(1.0, z);
+  const double ratio = 1.0 / z;
+  // Peak value (1 + y/z)/2pi at phi = 0 ... up to quantization within the
+  // first step: the first step's midpoint is at pi/(2z).
+  const double expected_peak =
+      (1.0 + ratio * (M_PI / 2.0 - M_PI / (2.0 * z)) * 2.0 / M_PI) /
+      (2.0 * M_PI);
+  EXPECT_NEAR(m.pdf(0.0), expected_peak, 1e-12);
+  // The floor at |phi| = pi mirrors the peak around 1/2pi.
+  EXPECT_NEAR(m.pdf(M_PI) + m.pdf(0.0), 2.0 / (2.0 * M_PI), 1e-12);
+  EXPECT_GT(m.pdf(0.0), 1.0 / (2.0 * M_PI));
+  EXPECT_LT(m.pdf(M_PI), 1.0 / (2.0 * M_PI));
+}
+
+TEST_P(MotionModelZTest, ConstantOnFirstStepThenNonIncreasing) {
+  const int z = GetParam();
+  const MotionModel m(1.0, z);
+  const double w = M_PI / z;
+  const double first = m.pdf(1e-9);
+  // Constant for 0 <= phi < pi/z (the paper's granularity property).
+  for (double phi = 0.0; phi < w - 1e-9; phi += w / 17.0) {
+    EXPECT_DOUBLE_EQ(m.pdf(phi), first);
+  }
+  // Strictly smaller on the next step, non-increasing overall.
+  EXPECT_LT(m.pdf(w + 1e-9), first);
+  double prev = first;
+  for (double phi = w / 2; phi < M_PI; phi += w) {
+    const double cur = m.pdf(phi);
+    EXPECT_LE(cur, prev + 1e-15);
+    prev = cur;
+  }
+}
+
+TEST_P(MotionModelZTest, SymmetricInPhi) {
+  const MotionModel m(1.0, GetParam());
+  for (double phi = 0.0; phi <= M_PI; phi += 0.07) {
+    EXPECT_DOUBLE_EQ(m.pdf(phi), m.pdf(-phi));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ZValues, MotionModelZTest,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+TEST(MotionModelTest, MassIsAdditive) {
+  const MotionModel m(1.0, 8);
+  const double whole = m.mass(-1.0, 2.0);
+  const double split = m.mass(-1.0, 0.3) + m.mass(0.3, 2.0);
+  EXPECT_NEAR(whole, split, 1e-12);
+  EXPECT_DOUBLE_EQ(m.mass(1.0, 1.0), 0.0);
+  EXPECT_THROW(m.mass(1.0, 0.5), salarm::PreconditionError);
+}
+
+TEST(MotionModelTest, QuadrantWeightsSumToOne) {
+  for (const double heading : {0.0, 0.3, M_PI / 2, -2.5, 3.0}) {
+    const MotionModel m(1.0, 4);
+    const QuadrantWeights w = m.quadrant_weights(heading);
+    EXPECT_NEAR(w[0] + w[1] + w[2] + w[3], 1.0, 1e-9) << heading;
+    for (std::size_t q = 0; q < 4; ++q) EXPECT_GT(w[q], 0.0);
+  }
+}
+
+TEST(MotionModelTest, HeadingEastFavorsEastQuadrants) {
+  const MotionModel m(1.0, 4);
+  // Heading 0 (east) splits its mass across quadrants I and IV, which
+  // should each outweigh II and III.
+  const QuadrantWeights w = m.quadrant_weights(0.0);
+  EXPECT_NEAR(w[0], w[3], 1e-9);  // symmetric about the x axis
+  EXPECT_NEAR(w[1], w[2], 1e-9);
+  EXPECT_GT(w[0], w[1]);
+}
+
+TEST(MotionModelTest, HeadingIntoQuadrantCenterMaximizesThatQuadrant) {
+  const MotionModel m(1.0, 8);
+  // Heading pi/4 points into the center of quadrant I.
+  const QuadrantWeights w = m.quadrant_weights(M_PI / 4);
+  EXPECT_GT(w[0], w[1]);
+  EXPECT_GT(w[0], w[2]);
+  EXPECT_GT(w[0], w[3]);
+  EXPECT_GT(w[0], 0.26);  // above the uniform quarter
+  EXPECT_NEAR(w[1], w[3], 1e-9);  // symmetric neighbors
+}
+
+TEST(MotionModelTest, UniformWeightsAreQuarters) {
+  const MotionModel m = MotionModel::uniform();
+  const QuadrantWeights w = m.quadrant_weights(1.234);
+  for (std::size_t q = 0; q < 4; ++q) EXPECT_NEAR(w[q], 0.25, 1e-9);
+}
+
+TEST(MotionModelTest, WeightsRotateWithHeading) {
+  const MotionModel m(1.0, 8);
+  const QuadrantWeights east = m.quadrant_weights(M_PI / 4);
+  const QuadrantWeights north = m.quadrant_weights(M_PI / 4 + M_PI / 2);
+  // Rotating the heading by 90 degrees rotates the weights one quadrant.
+  EXPECT_NEAR(north.w[1], east.w[0], 1e-9);
+  EXPECT_NEAR(north.w[2], east.w[1], 1e-9);
+  EXPECT_NEAR(north.w[3], east.w[2], 1e-9);
+  EXPECT_NEAR(north.w[0], east.w[3], 1e-9);
+}
+
+TEST(MotionModelTest, LargerYzRatioIsMoreConcentrated) {
+  const MotionModel weak(0.25, 4);
+  const MotionModel strong(3.0, 4);
+  const QuadrantWeights ww = weak.quadrant_weights(M_PI / 4);
+  const QuadrantWeights sw = strong.quadrant_weights(M_PI / 4);
+  EXPECT_GT(sw[0], ww[0]);
+  EXPECT_LT(sw[2], ww[2]);
+}
+
+}  // namespace
+}  // namespace salarm::saferegion

@@ -1,0 +1,100 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "roadnet/network_builder.h"
+#include "mobility/trace_generator.h"
+#include "roadnet/network_io.h"
+
+namespace salarm::roadnet {
+namespace {
+
+RoadNetwork sample_network() {
+  NetworkConfig cfg;
+  cfg.width_m = 4000;
+  cfg.height_m = 4000;
+  Rng rng(6);
+  return build_synthetic_network(cfg, rng);
+}
+
+TEST(NetworkIoTest, RoundTrips) {
+  const RoadNetwork original = sample_network();
+  std::stringstream buffer;
+  write_network_csv(original, buffer);
+  const RoadNetwork restored = read_network_csv(buffer);
+
+  ASSERT_EQ(restored.node_count(), original.node_count());
+  ASSERT_EQ(restored.edge_count(), original.edge_count());
+  for (NodeId n = 0; n < original.node_count(); ++n) {
+    EXPECT_NEAR(restored.node(n).pos.x, original.node(n).pos.x, 1e-5);
+    EXPECT_NEAR(restored.node(n).pos.y, original.node(n).pos.y, 1e-5);
+  }
+  for (EdgeId e = 0; e < original.edge_count(); ++e) {
+    EXPECT_EQ(restored.edge(e).a, original.edge(e).a);
+    EXPECT_EQ(restored.edge(e).b, original.edge(e).b);
+    EXPECT_EQ(restored.edge(e).road_class, original.edge(e).road_class);
+    // 10 significant digits survive the text round-trip.
+    EXPECT_NEAR(restored.edge(e).speed_mps, original.edge(e).speed_mps,
+                1e-7);
+  }
+  EXPECT_EQ(restored.largest_component_size(),
+            original.largest_component_size());
+  EXPECT_DOUBLE_EQ(restored.max_speed_mps(), original.max_speed_mps());
+}
+
+TEST(NetworkIoTest, RejectsMalformedInput) {
+  const auto expect_reject = [](const std::string& text) {
+    std::stringstream buffer(text);
+    EXPECT_THROW(read_network_csv(buffer), salarm::PreconditionError)
+        << text;
+  };
+  expect_reject("");                                    // empty
+  expect_reject("wrong magic\nnodes,0\nid,x,y\n");      // bad magic
+  // Sparse node ids.
+  expect_reject(
+      "# salarm-road-network v1\nnodes,2\nid,x,y\n0,0,0\n5,1,1\n"
+      "edges,0\na,b,speed_mps,class\n");
+  // Unknown road class.
+  expect_reject(
+      "# salarm-road-network v1\nnodes,2\nid,x,y\n0,0,0\n1,10,0\n"
+      "edges,1\na,b,speed_mps,class\n0,1,10,autobahn\n");
+  // Edge referencing a missing node.
+  expect_reject(
+      "# salarm-road-network v1\nnodes,2\nid,x,y\n0,0,0\n1,10,0\n"
+      "edges,1\na,b,speed_mps,class\n0,7,10,local\n");
+  // Count larger than rows present.
+  expect_reject(
+      "# salarm-road-network v1\nnodes,3\nid,x,y\n0,0,0\n1,10,0\n");
+}
+
+TEST(NetworkIoTest, FileRoundTripAndErrors) {
+  const RoadNetwork original = sample_network();
+  const std::string path = ::testing::TempDir() + "/salarm_network.csv";
+  save_network_csv(original, path);
+  const RoadNetwork restored = load_network_csv(path);
+  EXPECT_EQ(restored.node_count(), original.node_count());
+  EXPECT_THROW(load_network_csv("/nonexistent/net.csv"),
+               salarm::PreconditionError);
+}
+
+TEST(NetworkIoTest, ImportedNetworkDrivesTraces) {
+  // The imported network must be usable as a trace substrate.
+  const RoadNetwork original = sample_network();
+  std::stringstream buffer;
+  write_network_csv(original, buffer);
+  const RoadNetwork restored = read_network_csv(buffer);
+
+  mobility::TraceConfig cfg;
+  cfg.vehicle_count = 10;
+  cfg.seed = 3;
+  mobility::TraceGenerator gen(restored, cfg);
+  for (int t = 0; t < 50; ++t) gen.step();
+  for (const auto& s : gen.samples()) {
+    EXPECT_TRUE(restored.bounding_box().contains(s.pos));
+  }
+}
+
+}  // namespace
+}  // namespace salarm::roadnet

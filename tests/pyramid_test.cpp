@@ -1,0 +1,368 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "geometry/rect.h"
+#include "saferegion/pyramid.h"
+
+namespace salarm::saferegion {
+namespace {
+
+using geo::Point;
+using geo::Rect;
+
+const Rect kCell(0, 0, 900, 900);
+
+TEST(PyramidTest, ValidatesInputs) {
+  PyramidConfig cfg;
+  cfg.height = 0;
+  EXPECT_THROW(PyramidBitmap::build(kCell, {}, cfg),
+               salarm::PreconditionError);
+  cfg = {};
+  cfg.fanout_u = 1;
+  EXPECT_THROW(PyramidBitmap::build(kCell, {}, cfg),
+               salarm::PreconditionError);
+  cfg = {};
+  EXPECT_THROW(PyramidBitmap::build(Rect(0, 0, 0, 10), {}, cfg),
+               salarm::PreconditionError);
+}
+
+TEST(PyramidTest, EmptyCellIsEntirelySafe) {
+  const auto bm = PyramidBitmap::build(kCell, {}, PyramidConfig{});
+  EXPECT_DOUBLE_EQ(bm.coverage(), 1.0);
+  EXPECT_EQ(bm.bit_size(), 1u);  // single safe root bit
+  EXPECT_EQ(bm.node_count(), 1u);
+  const auto c = bm.locate({450, 450});
+  EXPECT_TRUE(c.safe);
+  EXPECT_EQ(c.levels, 1);
+}
+
+TEST(PyramidTest, FullyCoveredCellIsSolidUnsafe) {
+  const std::vector<Rect> alarms{Rect(-10, -10, 910, 910)};
+  const auto bm = PyramidBitmap::build(kCell, alarms, PyramidConfig{});
+  EXPECT_DOUBLE_EQ(bm.coverage(), 0.0);
+  EXPECT_EQ(bm.bit_size(), 2u);  // unsafe root + solid flag
+  const auto c = bm.locate({450, 450});
+  EXPECT_FALSE(c.safe);
+  EXPECT_EQ(c.levels, 1);  // no descent into a solid block
+}
+
+TEST(PyramidTest, GbsrIsHeightOne) {
+  // One alarm in the center third: the root subdivides once; the center
+  // child is unsafe, the 8 others safe.
+  const std::vector<Rect> alarms{Rect(350, 350, 550, 550)};
+  PyramidConfig cfg;
+  cfg.height = 1;
+  const auto bm = PyramidBitmap::build(kCell, alarms, cfg);
+  // Root (2 bits: unsafe+subdivided) + 9 leaf bits.
+  EXPECT_EQ(bm.bit_size(), 11u);
+  EXPECT_NEAR(bm.coverage(), 8.0 / 9.0, 1e-12);
+  EXPECT_TRUE(bm.locate({100, 100}).safe);
+  EXPECT_FALSE(bm.locate({450, 450}).safe);
+  EXPECT_EQ(bm.locate({450, 450}).levels, 2);
+}
+
+TEST(PyramidTest, DeeperPyramidRefinesCoverage) {
+  const std::vector<Rect> alarms{Rect(350, 350, 550, 550)};
+  double prev_coverage = 0.0;
+  for (int h = 1; h <= 6; ++h) {
+    PyramidConfig cfg;
+    cfg.height = h;
+    const auto bm = PyramidBitmap::build(kCell, alarms, cfg);
+    const double cov = bm.coverage();
+    EXPECT_GE(cov, prev_coverage - 1e-12) << "height " << h;
+    prev_coverage = cov;
+  }
+  // The alarm covers (200/900)^2 ≈ 4.94% of the cell; deep refinement
+  // should approach 1 - that.
+  EXPECT_NEAR(prev_coverage, 1.0 - (200.0 * 200.0) / (900.0 * 900.0), 0.01);
+}
+
+TEST(PyramidTest, LocateCountsDescentLevels) {
+  const std::vector<Rect> alarms{Rect(350, 350, 550, 550)};
+  PyramidConfig cfg;
+  cfg.height = 4;
+  const auto bm = PyramidBitmap::build(kCell, alarms, cfg);
+  // Far corner: safe at level 1 (the 3x3 child).
+  EXPECT_EQ(bm.locate({50, 50}).levels, 2);
+  // Points near the alarm boundary need deeper descents.
+  const auto near_boundary = bm.locate({352, 450});
+  EXPECT_GE(near_boundary.levels, 3);
+  EXPECT_LE(near_boundary.levels, cfg.height + 1);
+  // Inside the alarm: unsafe, found at whatever level turns solid.
+  EXPECT_FALSE(bm.locate({450, 450}).safe);
+}
+
+TEST(PyramidTest, SafeRegionNeverOverlapsAlarms) {
+  // Property: any point strictly inside an alarm region must be unsafe.
+  Rng rng(17);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<Rect> alarms;
+    const int n = 1 + static_cast<int>(rng.index(6));
+    for (int i = 0; i < n; ++i) {
+      const Point c{rng.uniform(-50, 950), rng.uniform(-50, 950)};
+      alarms.push_back(Rect::centered_square(c, rng.uniform(30, 400)));
+    }
+    PyramidConfig cfg;
+    cfg.height = 1 + static_cast<int>(rng.index(5));
+    const auto bm = PyramidBitmap::build(kCell, alarms, cfg);
+    for (int probe = 0; probe < 200; ++probe) {
+      const Point p{rng.uniform(0, 900), rng.uniform(0, 900)};
+      const auto c = bm.locate(p);
+      if (c.safe) {
+        for (const Rect& a : alarms) {
+          EXPECT_FALSE(a.interior_contains(p))
+              << "safe point inside alarm " << a.to_string();
+        }
+      }
+    }
+  }
+}
+
+TEST(PyramidTest, CoverageMatchesMonteCarlo) {
+  Rng rng(23);
+  std::vector<Rect> alarms{Rect(100, 100, 400, 300), Rect(600, 500, 800, 900),
+                           Rect(300, 250, 700, 450)};
+  PyramidConfig cfg;
+  cfg.height = 6;
+  const auto bm = PyramidBitmap::build(kCell, alarms, cfg);
+  int safe = 0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    const Point p{rng.uniform(0, 900), rng.uniform(0, 900)};
+    if (bm.locate(p).safe) ++safe;
+  }
+  EXPECT_NEAR(bm.coverage(), static_cast<double>(safe) / samples, 0.02);
+}
+
+TEST(PyramidTest, OpsCounterCountsIntersectionTests) {
+  const std::vector<Rect> alarms{Rect(350, 350, 550, 550)};
+  std::uint64_t ops = 0;
+  PyramidConfig cfg;
+  cfg.height = 3;
+  (void)PyramidBitmap::build(kCell, alarms, cfg, &ops);
+  EXPECT_GT(ops, 0u);
+  std::uint64_t deeper_ops = 0;
+  cfg.height = 6;
+  (void)PyramidBitmap::build(kCell, alarms, cfg, &deeper_ops);
+  EXPECT_GT(deeper_ops, ops);
+}
+
+TEST(PyramidTest, PaperExampleBitAccounting) {
+  // Figure 3(d): a 3x3 pyramid of height 2 where level 1 has 3 safe cells
+  // and 6 subdivided cells costs 1 + 9 + 54 paper-bits = 64, and our
+  // decodable encoding costs 2 + (3 + 2*6) + 54 = 71 bits.
+  // Reproduce that shape: an alarm layout leaving exactly 3 of the 9 level-1
+  // cells alarm-free and all 6 others partially covered.
+  // Level-1 cells are 300x300. Alarms clip corners of 6 cells:
+  std::vector<Rect> alarms;
+  const std::vector<std::pair<int, int>> unsafe_cells{
+      {0, 0}, {1, 0}, {2, 0}, {0, 1}, {0, 2}, {1, 2}};
+  for (const auto& [cx, cy] : unsafe_cells) {
+    const double x = cx * 300.0;
+    const double y = cy * 300.0;
+    alarms.push_back(Rect(x + 100, y + 100, x + 160, y + 160));
+  }
+  PyramidConfig cfg;
+  cfg.height = 2;
+  const auto bm = PyramidBitmap::build(kCell, alarms, cfg);
+  EXPECT_EQ(bm.paper_bit_size(), 64u);
+  EXPECT_EQ(bm.bit_size(), 71u);
+}
+
+TEST(PyramidTest, SerializeRoundTrips) {
+  Rng rng(31);
+  for (int round = 0; round < 25; ++round) {
+    std::vector<Rect> alarms;
+    const int n = static_cast<int>(rng.index(8));
+    for (int i = 0; i < n; ++i) {
+      const Point c{rng.uniform(0, 900), rng.uniform(0, 900)};
+      alarms.push_back(Rect::centered_square(c, rng.uniform(20, 350)));
+    }
+    PyramidConfig cfg;
+    cfg.height = 1 + static_cast<int>(rng.index(6));
+    cfg.fanout_u = 2 + static_cast<int>(rng.index(3));
+    cfg.fanout_v = 2 + static_cast<int>(rng.index(3));
+    const auto bm = PyramidBitmap::build(kCell, alarms, cfg);
+    const auto bytes = bm.serialize();
+    EXPECT_EQ(bytes.size(), bm.byte_size());
+    const auto restored =
+        PyramidBitmap::deserialize(kCell, cfg, bytes, bm.bit_size());
+    EXPECT_TRUE(bm == restored);
+    // Containment answers agree everywhere.
+    for (int probe = 0; probe < 100; ++probe) {
+      const Point p{rng.uniform(0, 900), rng.uniform(0, 900)};
+      const auto a = bm.locate(p);
+      const auto b = restored.locate(p);
+      EXPECT_EQ(a.safe, b.safe);
+      EXPECT_EQ(a.levels, b.levels);
+    }
+  }
+}
+
+TEST(PyramidTest, DeserializeRejectsMalformedStreams) {
+  const std::vector<Rect> alarms{Rect(350, 350, 550, 550)};
+  PyramidConfig cfg;
+  cfg.height = 2;
+  const auto bm = PyramidBitmap::build(kCell, alarms, cfg);
+  auto bytes = bm.serialize();
+  // Truncated stream.
+  EXPECT_THROW(
+      PyramidBitmap::deserialize(kCell, cfg, bytes, bm.bit_size() - 5),
+      salarm::PreconditionError);
+  // Excess bits claimed.
+  EXPECT_THROW(PyramidBitmap::deserialize(kCell, cfg, bytes,
+                                          bytes.size() * 8 + 1),
+               salarm::PreconditionError);
+}
+
+TEST(PyramidTest, NonSquareFanout) {
+  PyramidConfig cfg;
+  cfg.fanout_u = 4;
+  cfg.fanout_v = 2;
+  cfg.height = 3;
+  const std::vector<Rect> alarms{Rect(0, 0, 250, 500)};
+  const auto bm = PyramidBitmap::build(kCell, alarms, cfg);
+  EXPECT_GT(bm.coverage(), 0.5);
+  EXPECT_LT(bm.coverage(), 1.0);
+  // Sound on probes.
+  Rng rng(5);
+  for (int probe = 0; probe < 200; ++probe) {
+    const Point p{rng.uniform(0, 900), rng.uniform(0, 900)};
+    if (bm.locate(p).safe) {
+      EXPECT_FALSE(alarms[0].interior_contains(p));
+    }
+  }
+}
+
+TEST(PyramidTest, BitBudgetCapsEncodingSize) {
+  // Many alarms at high height: unlimited build far exceeds a tight
+  // budget; the capped build must respect it exactly while staying sound.
+  Rng rng(41);
+  std::vector<Rect> alarms;
+  for (int i = 0; i < 12; ++i) {
+    const Point c{rng.uniform(0, 900), rng.uniform(0, 900)};
+    alarms.push_back(Rect::centered_square(c, rng.uniform(60, 250)));
+  }
+  PyramidConfig unlimited;
+  unlimited.height = 7;
+  unlimited.max_bits = 0;
+  const auto full = PyramidBitmap::build(kCell, alarms, unlimited);
+
+  PyramidConfig capped = unlimited;
+  capped.max_bits = 256;
+  const auto small = PyramidBitmap::build(kCell, alarms, capped);
+
+  EXPECT_GT(full.bit_size(), 256u);
+  EXPECT_LE(small.bit_size(), 256u);
+  // Coverage can only shrink under the cap, never grow.
+  EXPECT_LE(small.coverage(), full.coverage() + 1e-12);
+  EXPECT_GT(small.coverage(), 0.0);
+  // Soundness unaffected: safe points are never inside an alarm.
+  for (int probe = 0; probe < 300; ++probe) {
+    const Point p{rng.uniform(0, 900), rng.uniform(0, 900)};
+    if (small.locate(p).safe) {
+      for (const Rect& a : alarms) EXPECT_FALSE(a.interior_contains(p));
+    }
+    // Capped-safe implies uncapped-safe (the cap only coarsens).
+    if (small.locate(p).safe) {
+      EXPECT_TRUE(full.locate(p).safe);
+    }
+  }
+  // Round-trips like any other pyramid.
+  const auto restored = PyramidBitmap::deserialize(
+      kCell, capped, small.serialize(), small.bit_size());
+  EXPECT_TRUE(restored == small);
+}
+
+TEST(PyramidTest, BitBudgetMonotoneCoverage) {
+  Rng rng(43);
+  std::vector<Rect> alarms;
+  for (int i = 0; i < 8; ++i) {
+    const Point c{rng.uniform(0, 900), rng.uniform(0, 900)};
+    alarms.push_back(Rect::centered_square(c, rng.uniform(80, 300)));
+  }
+  double prev = -1.0;
+  for (const std::size_t budget : {64u, 128u, 256u, 512u, 2048u, 8192u}) {
+    PyramidConfig cfg;
+    cfg.height = 6;
+    cfg.max_bits = budget;
+    const auto bm = PyramidBitmap::build(kCell, alarms, cfg);
+    EXPECT_LE(bm.bit_size(), budget);
+    EXPECT_GE(bm.coverage(), prev - 1e-12) << "budget " << budget;
+    prev = bm.coverage();
+  }
+}
+
+TEST(PyramidTest, IntersectMatchesPointwiseAnd) {
+  Rng rng(59);
+  for (int round = 0; round < 25; ++round) {
+    auto make_alarms = [&](int n) {
+      std::vector<Rect> alarms;
+      for (int i = 0; i < n; ++i) {
+        const Point c{rng.uniform(0, 900), rng.uniform(0, 900)};
+        alarms.push_back(Rect::centered_square(c, rng.uniform(40, 350)));
+      }
+      return alarms;
+    };
+    PyramidConfig cfg;
+    cfg.height = 1 + static_cast<int>(rng.index(5));
+    const auto alarms_a = make_alarms(static_cast<int>(rng.index(5)));
+    const auto alarms_b = make_alarms(static_cast<int>(rng.index(5)));
+    const auto a = PyramidBitmap::build(kCell, alarms_a, cfg);
+    const auto b = PyramidBitmap::build(kCell, alarms_b, cfg);
+    std::uint64_t ops = 0;
+    const auto both = a.intersect(b, &ops);
+    EXPECT_GT(ops, 0u);
+    for (int probe = 0; probe < 200; ++probe) {
+      const Point p{rng.uniform(0, 900), rng.uniform(0, 900)};
+      EXPECT_EQ(both.locate(p).safe,
+                a.locate(p).safe && b.locate(p).safe)
+          << "round " << round;
+    }
+    // Coverage of the intersection cannot exceed either input.
+    EXPECT_LE(both.coverage(), a.coverage() + 1e-12);
+    EXPECT_LE(both.coverage(), b.coverage() + 1e-12);
+    // Round-trips like any built pyramid.
+    const auto restored = PyramidBitmap::deserialize(
+        kCell, cfg, both.serialize(), both.bit_size());
+    EXPECT_TRUE(restored == both);
+  }
+}
+
+TEST(PyramidTest, IntersectWithAllSafeIsIdentityOnSafeSet) {
+  const std::vector<Rect> alarms{Rect(350, 350, 550, 550)};
+  PyramidConfig cfg;
+  cfg.height = 3;
+  const auto bm = PyramidBitmap::build(kCell, alarms, cfg);
+  const auto empty = PyramidBitmap::build(kCell, {}, cfg);
+  const auto merged = bm.intersect(empty);
+  Rng rng(61);
+  for (int probe = 0; probe < 300; ++probe) {
+    const Point p{rng.uniform(0, 900), rng.uniform(0, 900)};
+    EXPECT_EQ(merged.locate(p).safe, bm.locate(p).safe);
+  }
+}
+
+TEST(PyramidTest, IntersectRejectsMismatchedInputs) {
+  PyramidConfig cfg;
+  const auto a = PyramidBitmap::build(kCell, {}, cfg);
+  PyramidConfig other = cfg;
+  other.height = cfg.height + 1;
+  const auto b = PyramidBitmap::build(kCell, {}, other);
+  EXPECT_THROW((void)a.intersect(b), salarm::PreconditionError);
+  const auto c =
+      PyramidBitmap::build(Rect(0, 0, 500, 500), {}, cfg);
+  EXPECT_THROW((void)a.intersect(c), salarm::PreconditionError);
+}
+
+TEST(PyramidTest, LocateRequiresPointInCell) {
+  const auto bm = PyramidBitmap::build(kCell, {}, PyramidConfig{});
+  EXPECT_THROW(bm.locate({-1, 0}), salarm::PreconditionError);
+}
+
+}  // namespace
+}  // namespace salarm::saferegion

@@ -1,0 +1,105 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "mobility/trace_generator.h"
+#include "mobility/trace_io.h"
+#include "roadnet/network_builder.h"
+
+namespace salarm::mobility {
+namespace {
+
+RecordedTrace sample_trace() {
+  roadnet::NetworkConfig net_cfg;
+  net_cfg.width_m = 4000;
+  net_cfg.height_m = 4000;
+  Rng rng(3);
+  static const auto network = roadnet::build_synthetic_network(net_cfg, rng);
+  TraceConfig cfg;
+  cfg.vehicle_count = 7;
+  cfg.tick_seconds = 0.5;
+  cfg.seed = 11;
+  TraceGenerator gen(network, cfg);
+  return gen.record(25);
+}
+
+TEST(TraceIoTest, RoundTripsExactlyEnough) {
+  const RecordedTrace original = sample_trace();
+  std::stringstream buffer;
+  write_trace_csv(original, buffer);
+  const RecordedTrace restored = read_trace_csv(buffer);
+
+  ASSERT_EQ(restored.tick_count(), original.tick_count());
+  ASSERT_EQ(restored.vehicle_count(), original.vehicle_count());
+  EXPECT_DOUBLE_EQ(restored.tick_seconds(), original.tick_seconds());
+  for (std::size_t t = 0; t < original.tick_count(); ++t) {
+    for (VehicleId v = 0; v < original.vehicle_count(); ++v) {
+      const auto& a = original.sample(t, v);
+      const auto& b = restored.sample(t, v);
+      // 10 significant digits of precision survive the text round-trip.
+      EXPECT_NEAR(a.pos.x, b.pos.x, 1e-5);
+      EXPECT_NEAR(a.pos.y, b.pos.y, 1e-5);
+      EXPECT_NEAR(a.heading, b.heading, 1e-8);
+      EXPECT_NEAR(a.speed_mps, b.speed_mps, 1e-7);
+    }
+  }
+}
+
+TEST(TraceIoTest, AcceptsShuffledVehiclesWithinTick) {
+  std::stringstream buffer;
+  buffer << "# tick_seconds=1\n";
+  buffer << "tick,vehicle,x,y,heading,speed\n";
+  buffer << "0,1,10,20,0,5\n";
+  buffer << "0,0,1,2,0,5\n";
+  buffer << "1,0,2,3,0,5\n";
+  buffer << "1,1,11,21,0,5\n";
+  const RecordedTrace trace = read_trace_csv(buffer);
+  EXPECT_EQ(trace.tick_count(), 2u);
+  EXPECT_EQ(trace.vehicle_count(), 2u);
+  EXPECT_EQ(trace.sample(0, 0).pos, (geo::Point{1, 2}));
+  EXPECT_EQ(trace.sample(0, 1).pos, (geo::Point{10, 20}));
+}
+
+TEST(TraceIoTest, RejectsMalformedInput) {
+  const auto expect_reject = [](const std::string& text) {
+    std::stringstream buffer(text);
+    EXPECT_THROW(read_trace_csv(buffer), salarm::PreconditionError) << text;
+  };
+  // Missing tick_seconds comment.
+  expect_reject("tick,vehicle,x,y,heading,speed\n0,0,1,2,0,5\n");
+  // Wrong header.
+  expect_reject("# tick_seconds=1\ntick,vehicle,x,y\n0,0,1,2\n");
+  // Non-numeric field.
+  expect_reject(
+      "# tick_seconds=1\ntick,vehicle,x,y,heading,speed\n0,0,abc,2,0,5\n");
+  // Wrong field count.
+  expect_reject("# tick_seconds=1\ntick,vehicle,x,y,heading,speed\n0,0,1\n");
+  // Duplicate vehicle in a tick.
+  expect_reject(
+      "# tick_seconds=1\ntick,vehicle,x,y,heading,speed\n"
+      "0,0,1,2,0,5\n0,0,3,4,0,5\n");
+  // Missing vehicle in second tick.
+  expect_reject(
+      "# tick_seconds=1\ntick,vehicle,x,y,heading,speed\n"
+      "0,0,1,2,0,5\n0,1,3,4,0,5\n1,0,5,6,0,5\n");
+  // Empty trace.
+  expect_reject("# tick_seconds=1\ntick,vehicle,x,y,heading,speed\n");
+  // Bad tick_seconds.
+  expect_reject(
+      "# tick_seconds=0\ntick,vehicle,x,y,heading,speed\n0,0,1,2,0,5\n");
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  const RecordedTrace original = sample_trace();
+  const std::string path = ::testing::TempDir() + "/salarm_trace.csv";
+  save_trace_csv(original, path);
+  const RecordedTrace restored = load_trace_csv(path);
+  EXPECT_EQ(restored.tick_count(), original.tick_count());
+  EXPECT_EQ(restored.vehicle_count(), original.vehicle_count());
+  EXPECT_THROW(load_trace_csv("/nonexistent/dir/trace.csv"),
+               salarm::PreconditionError);
+}
+
+}  // namespace
+}  // namespace salarm::mobility

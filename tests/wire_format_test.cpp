@@ -1,0 +1,150 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/bitio.h"
+#include "common/rng.h"
+#include "saferegion/pyramid.h"
+#include "saferegion/wire_format.h"
+
+namespace salarm::wire {
+namespace {
+
+using geo::Point;
+using geo::Rect;
+
+TEST(BitIoTest, WriterReaderRoundTrip) {
+  salarm::BitWriter w;
+  const std::vector<bool> pattern{1, 0, 0, 1, 1, 1, 0, 1, 0, 1, 1};
+  for (const bool b : pattern) w.push(b);
+  EXPECT_EQ(w.bit_count(), pattern.size());
+  EXPECT_EQ(w.bytes().size(), 2u);
+  salarm::BitReader r(w.bytes(), w.bit_count());
+  for (const bool b : pattern) EXPECT_EQ(r.next(), b);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_THROW(r.next(), salarm::PreconditionError);
+}
+
+TEST(BitIoTest, ReaderValidatesBitCount) {
+  const std::vector<std::uint8_t> bytes{0xFF};
+  EXPECT_THROW(salarm::BitReader(bytes, 9), salarm::PreconditionError);
+  EXPECT_NO_THROW(salarm::BitReader(bytes, 8));
+}
+
+TEST(WireFormatTest, PositionUpdateRoundTrip) {
+  const PositionUpdate m{42, {123.5, -7.25}, 99.75};
+  const auto bytes = encode(m);
+  EXPECT_EQ(bytes.size(), encoded_size(m));
+  EXPECT_EQ(bytes.size(), 29u);
+  const PositionUpdate d = decode_position_update(bytes);
+  EXPECT_EQ(d.subscriber, m.subscriber);
+  EXPECT_EQ(d.position, m.position);
+  EXPECT_DOUBLE_EQ(d.time_s, m.time_s);
+}
+
+TEST(WireFormatTest, RectSafeRegionRoundTrip) {
+  const RectSafeRegionMsg m{Rect(1.5, 2.5, 100.25, 200.125)};
+  const auto bytes = encode(m);
+  EXPECT_EQ(bytes.size(), encoded_size(m));
+  EXPECT_EQ(bytes.size(), rect_message_size());
+  EXPECT_EQ(decode_rect_safe_region(bytes).rect, m.rect);
+}
+
+TEST(WireFormatTest, SafePeriodAndTriggerRoundTrip) {
+  const SafePeriodMsg sp{17.25};
+  const auto sp_bytes = encode(sp);
+  EXPECT_EQ(sp_bytes.size(), encoded_size(sp));
+  EXPECT_DOUBLE_EQ(decode_safe_period(sp_bytes).period_s, 17.25);
+
+  const TriggerNoticeMsg tn{1234, "fuel below 1/4 near I-85 exit 86"};
+  const auto tn_bytes = encode(tn);
+  EXPECT_EQ(tn_bytes.size(), encoded_size(tn));
+  EXPECT_EQ(tn_bytes.size(), trigger_notice_size(tn.message.size()));
+  const auto tn_decoded = decode_trigger_notice(tn_bytes);
+  EXPECT_EQ(tn_decoded.alarm, 1234u);
+  EXPECT_EQ(tn_decoded.message, tn.message);
+}
+
+TEST(WireFormatTest, AlarmPushRoundTrip) {
+  AlarmPushMsg m;
+  m.cell = Rect(0, 0, 1000, 1000);
+  m.alarms.push_back({7, Rect(10, 20, 30, 40), "dry cleaning ready"});
+  m.alarms.push_back({9, Rect(100, 200, 300, 400), "congestion on 85 North"});
+  const auto bytes = encode(m);
+  EXPECT_EQ(bytes.size(), encoded_size(m));
+  EXPECT_EQ(bytes.size(),
+            alarm_push_size(2, m.alarms[0].message.size() +
+                                   m.alarms[1].message.size()));
+  const AlarmPushMsg d = decode_alarm_push(bytes);
+  EXPECT_EQ(d.cell, m.cell);
+  ASSERT_EQ(d.alarms.size(), 2u);
+  EXPECT_EQ(d.alarms[0].id, 7u);
+  EXPECT_EQ(d.alarms[0].message, "dry cleaning ready");
+  EXPECT_EQ(d.alarms[1].region, m.alarms[1].region);
+}
+
+TEST(WireFormatTest, AlarmPushSizeGrowsLinearly) {
+  EXPECT_EQ(alarm_push_size(0, 0) + 38, alarm_push_size(1, 0));
+  EXPECT_EQ(alarm_push_size(10, 0) + 10 * 38 + 500, alarm_push_size(20, 500));
+}
+
+TEST(WireFormatTest, PyramidSafeRegionRoundTrip) {
+  const Rect cell(0, 0, 900, 900);
+  const std::vector<Rect> alarms{Rect(100, 100, 400, 300),
+                                 Rect(500, 500, 800, 800)};
+  saferegion::PyramidConfig cfg;
+  cfg.height = 4;
+  const auto bitmap = saferegion::PyramidBitmap::build(cell, alarms, cfg);
+  const auto msg = PyramidSafeRegionMsg::from(bitmap);
+  const auto bytes = encode(msg);
+  EXPECT_EQ(bytes.size(), encoded_size(msg));
+  EXPECT_EQ(bytes.size(), pyramid_message_size(bitmap.bit_size()));
+  const auto decoded_msg = decode_pyramid_safe_region(bytes);
+  const auto restored = decoded_msg.decode();
+  EXPECT_TRUE(restored == bitmap);
+}
+
+TEST(WireFormatTest, EmptyPyramidIsTiny) {
+  const Rect cell(0, 0, 900, 900);
+  const auto bitmap =
+      saferegion::PyramidBitmap::build(cell, {}, saferegion::PyramidConfig{});
+  const auto msg = PyramidSafeRegionMsg::from(bitmap);
+  // 1 bit payload: 40-byte header + 1 byte.
+  EXPECT_EQ(encode(msg).size(), 41u);
+}
+
+TEST(WireFormatTest, DecodersRejectWrongType) {
+  const auto bytes = encode(TriggerNoticeMsg{5, ""});
+  EXPECT_THROW(decode_position_update(bytes), salarm::PreconditionError);
+  EXPECT_THROW(decode_rect_safe_region(bytes), salarm::PreconditionError);
+  EXPECT_THROW(decode_alarm_push(bytes), salarm::PreconditionError);
+}
+
+TEST(WireFormatTest, DecodersRejectTruncation) {
+  auto bytes = encode(PositionUpdate{1, {2, 3}, 4});
+  bytes.pop_back();
+  EXPECT_THROW(decode_position_update(bytes), salarm::PreconditionError);
+
+  auto push = encode(
+      AlarmPushMsg{Rect(0, 0, 1, 1), {{1, Rect(0, 0, 1, 1), ""}}});
+  push.resize(push.size() - 10);
+  EXPECT_THROW(decode_alarm_push(push), salarm::PreconditionError);
+}
+
+TEST(WireFormatTest, DecodersRejectTrailingBytes) {
+  auto bytes = encode(SafePeriodMsg{1.0});
+  bytes.push_back(0);
+  EXPECT_THROW(decode_safe_period(bytes), salarm::PreconditionError);
+}
+
+TEST(WireFormatTest, PyramidPayloadValidated) {
+  PyramidSafeRegionMsg bad;
+  bad.cell = Rect(0, 0, 1, 1);
+  bad.bit_count = 10;
+  bad.bits = {0xFF};  // needs 2 bytes
+  EXPECT_THROW(encode(bad), salarm::PreconditionError);
+}
+
+}  // namespace
+}  // namespace salarm::wire
