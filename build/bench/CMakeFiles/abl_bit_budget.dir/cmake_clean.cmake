@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_bit_budget.dir/abl_bit_budget.cpp.o"
+  "CMakeFiles/abl_bit_budget.dir/abl_bit_budget.cpp.o.d"
+  "abl_bit_budget"
+  "abl_bit_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bit_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_corner_baseline.dir/abl_corner_baseline.cpp.o"
+  "CMakeFiles/abl_corner_baseline.dir/abl_corner_baseline.cpp.o.d"
+  "abl_corner_baseline"
+  "abl_corner_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_corner_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

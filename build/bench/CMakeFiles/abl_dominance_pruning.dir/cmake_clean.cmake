@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dominance_pruning.dir/abl_dominance_pruning.cpp.o"
+  "CMakeFiles/abl_dominance_pruning.dir/abl_dominance_pruning.cpp.o.d"
+  "abl_dominance_pruning"
+  "abl_dominance_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dominance_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mobility_model.dir/abl_mobility_model.cpp.o"
+  "CMakeFiles/abl_mobility_model.dir/abl_mobility_model.cpp.o.d"
+  "abl_mobility_model"
+  "abl_mobility_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mobility_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mwpsr_assembly.dir/abl_mwpsr_assembly.cpp.o"
+  "CMakeFiles/abl_mwpsr_assembly.dir/abl_mwpsr_assembly.cpp.o.d"
+  "abl_mwpsr_assembly"
+  "abl_mwpsr_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mwpsr_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_public_cache.dir/abl_public_cache.cpp.o"
+  "CMakeFiles/abl_public_cache.dir/abl_public_cache.cpp.o.d"
+  "abl_public_cache"
+  "abl_public_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_public_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pyramid_fanout.dir/abl_pyramid_fanout.cpp.o"
+  "CMakeFiles/abl_pyramid_fanout.dir/abl_pyramid_fanout.cpp.o.d"
+  "abl_pyramid_fanout"
+  "abl_pyramid_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pyramid_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

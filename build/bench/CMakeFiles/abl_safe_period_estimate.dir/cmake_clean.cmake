@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_safe_period_estimate.dir/abl_safe_period_estimate.cpp.o"
+  "CMakeFiles/abl_safe_period_estimate.dir/abl_safe_period_estimate.cpp.o.d"
+  "abl_safe_period_estimate"
+  "abl_safe_period_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_safe_period_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

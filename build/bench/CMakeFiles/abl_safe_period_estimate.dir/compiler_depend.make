@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_safe_period_estimate.
+# This may be replaced when dependencies are built.

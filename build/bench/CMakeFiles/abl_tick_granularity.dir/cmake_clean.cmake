@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tick_granularity.dir/abl_tick_granularity.cpp.o"
+  "CMakeFiles/abl_tick_granularity.dir/abl_tick_granularity.cpp.o.d"
+  "abl_tick_granularity"
+  "abl_tick_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tick_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1b_motion_pdf.dir/fig1b_motion_pdf.cpp.o"
+  "CMakeFiles/fig1b_motion_pdf.dir/fig1b_motion_pdf.cpp.o.d"
+  "fig1b_motion_pdf"
+  "fig1b_motion_pdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_motion_pdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

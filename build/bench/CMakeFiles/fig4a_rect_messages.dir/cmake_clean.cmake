@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_rect_messages.dir/fig4a_rect_messages.cpp.o"
+  "CMakeFiles/fig4a_rect_messages.dir/fig4a_rect_messages.cpp.o.d"
+  "fig4a_rect_messages"
+  "fig4a_rect_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_rect_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_bsr_messages.dir/fig5a_bsr_messages.cpp.o"
+  "CMakeFiles/fig5a_bsr_messages.dir/fig5a_bsr_messages.cpp.o.d"
+  "fig5a_bsr_messages"
+  "fig5a_bsr_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_bsr_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

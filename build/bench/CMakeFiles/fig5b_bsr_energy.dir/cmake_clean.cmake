@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_bsr_energy.dir/fig5b_bsr_energy.cpp.o"
+  "CMakeFiles/fig5b_bsr_energy.dir/fig5b_bsr_energy.cpp.o.d"
+  "fig5b_bsr_energy"
+  "fig5b_bsr_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_bsr_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_compare_messages.dir/fig6a_compare_messages.cpp.o"
+  "CMakeFiles/fig6a_compare_messages.dir/fig6a_compare_messages.cpp.o.d"
+  "fig6a_compare_messages"
+  "fig6a_compare_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_compare_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

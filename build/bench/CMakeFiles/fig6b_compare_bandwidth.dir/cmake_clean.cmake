@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_compare_bandwidth.dir/fig6b_compare_bandwidth.cpp.o"
+  "CMakeFiles/fig6b_compare_bandwidth.dir/fig6b_compare_bandwidth.cpp.o.d"
+  "fig6b_compare_bandwidth"
+  "fig6b_compare_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_compare_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6c_compare_energy.dir/fig6c_compare_energy.cpp.o"
+  "CMakeFiles/fig6c_compare_energy.dir/fig6c_compare_energy.cpp.o.d"
+  "fig6c_compare_energy"
+  "fig6c_compare_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_compare_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6d_compare_server_time.dir/fig6d_compare_server_time.cpp.o"
+  "CMakeFiles/fig6d_compare_server_time.dir/fig6d_compare_server_time.cpp.o.d"
+  "fig6d_compare_server_time"
+  "fig6d_compare_server_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6d_compare_server_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

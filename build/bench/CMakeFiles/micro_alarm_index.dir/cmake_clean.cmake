@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_alarm_index.dir/micro_alarm_index.cpp.o"
+  "CMakeFiles/micro_alarm_index.dir/micro_alarm_index.cpp.o.d"
+  "micro_alarm_index"
+  "micro_alarm_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_alarm_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_containment.dir/micro_containment.cpp.o"
+  "CMakeFiles/micro_containment.dir/micro_containment.cpp.o.d"
+  "micro_containment"
+  "micro_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mwpsr.dir/micro_mwpsr.cpp.o"
+  "CMakeFiles/micro_mwpsr.dir/micro_mwpsr.cpp.o.d"
+  "micro_mwpsr"
+  "micro_mwpsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mwpsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rtree.dir/micro_rtree.cpp.o"
+  "CMakeFiles/micro_rtree.dir/micro_rtree.cpp.o.d"
+  "micro_rtree"
+  "micro_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

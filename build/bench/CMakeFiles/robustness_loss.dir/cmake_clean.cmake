@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_loss.dir/robustness_loss.cpp.o"
+  "CMakeFiles/robustness_loss.dir/robustness_loss.cpp.o.d"
+  "robustness_loss"
+  "robustness_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalability_vehicles.dir/scalability_vehicles.cpp.o"
+  "CMakeFiles/scalability_vehicles.dir/scalability_vehicles.cpp.o.d"
+  "scalability_vehicles"
+  "scalability_vehicles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability_vehicles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

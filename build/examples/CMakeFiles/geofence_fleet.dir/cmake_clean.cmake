@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geofence_fleet.dir/geofence_fleet.cpp.o"
+  "CMakeFiles/geofence_fleet.dir/geofence_fleet.cpp.o.d"
+  "geofence_fleet"
+  "geofence_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geofence_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_clients.dir/heterogeneous_clients.cpp.o"
+  "CMakeFiles/heterogeneous_clients.dir/heterogeneous_clients.cpp.o.d"
+  "heterogeneous_clients"
+  "heterogeneous_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moving_target.dir/moving_target.cpp.o"
+  "CMakeFiles/moving_target.dir/moving_target.cpp.o.d"
+  "moving_target"
+  "moving_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moving_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_trace.dir/replay_trace.cpp.o"
+  "CMakeFiles/replay_trace.dir/replay_trace.cpp.o.d"
+  "replay_trace"
+  "replay_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alarms/alarm_store.cpp" "src/CMakeFiles/salarm.dir/alarms/alarm_store.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/alarms/alarm_store.cpp.o.d"
+  "/root/repo/src/alarms/grid_index.cpp" "src/CMakeFiles/salarm.dir/alarms/grid_index.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/alarms/grid_index.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/salarm.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/common/stats.cpp.o.d"
+  "/root/repo/src/core/client_monitor.cpp" "src/CMakeFiles/salarm.dir/core/client_monitor.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/core/client_monitor.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/salarm.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/spatial_alarm_service.cpp" "src/CMakeFiles/salarm.dir/core/spatial_alarm_service.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/core/spatial_alarm_service.cpp.o.d"
+  "/root/repo/src/geometry/rect.cpp" "src/CMakeFiles/salarm.dir/geometry/rect.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/geometry/rect.cpp.o.d"
+  "/root/repo/src/geometry/segment.cpp" "src/CMakeFiles/salarm.dir/geometry/segment.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/geometry/segment.cpp.o.d"
+  "/root/repo/src/grid/grid_overlay.cpp" "src/CMakeFiles/salarm.dir/grid/grid_overlay.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/grid/grid_overlay.cpp.o.d"
+  "/root/repo/src/index/rstar_tree.cpp" "src/CMakeFiles/salarm.dir/index/rstar_tree.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/index/rstar_tree.cpp.o.d"
+  "/root/repo/src/mobility/position_source.cpp" "src/CMakeFiles/salarm.dir/mobility/position_source.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/mobility/position_source.cpp.o.d"
+  "/root/repo/src/mobility/random_waypoint.cpp" "src/CMakeFiles/salarm.dir/mobility/random_waypoint.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/mobility/random_waypoint.cpp.o.d"
+  "/root/repo/src/mobility/trace_generator.cpp" "src/CMakeFiles/salarm.dir/mobility/trace_generator.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/mobility/trace_generator.cpp.o.d"
+  "/root/repo/src/mobility/trace_io.cpp" "src/CMakeFiles/salarm.dir/mobility/trace_io.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/mobility/trace_io.cpp.o.d"
+  "/root/repo/src/roadnet/network_builder.cpp" "src/CMakeFiles/salarm.dir/roadnet/network_builder.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/roadnet/network_builder.cpp.o.d"
+  "/root/repo/src/roadnet/network_io.cpp" "src/CMakeFiles/salarm.dir/roadnet/network_io.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/roadnet/network_io.cpp.o.d"
+  "/root/repo/src/roadnet/road_network.cpp" "src/CMakeFiles/salarm.dir/roadnet/road_network.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/roadnet/road_network.cpp.o.d"
+  "/root/repo/src/roadnet/shortest_path.cpp" "src/CMakeFiles/salarm.dir/roadnet/shortest_path.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/roadnet/shortest_path.cpp.o.d"
+  "/root/repo/src/saferegion/corner_baseline.cpp" "src/CMakeFiles/salarm.dir/saferegion/corner_baseline.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/saferegion/corner_baseline.cpp.o.d"
+  "/root/repo/src/saferegion/motion_model.cpp" "src/CMakeFiles/salarm.dir/saferegion/motion_model.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/saferegion/motion_model.cpp.o.d"
+  "/root/repo/src/saferegion/mwpsr.cpp" "src/CMakeFiles/salarm.dir/saferegion/mwpsr.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/saferegion/mwpsr.cpp.o.d"
+  "/root/repo/src/saferegion/pyramid.cpp" "src/CMakeFiles/salarm.dir/saferegion/pyramid.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/saferegion/pyramid.cpp.o.d"
+  "/root/repo/src/saferegion/wire_format.cpp" "src/CMakeFiles/salarm.dir/saferegion/wire_format.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/saferegion/wire_format.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/salarm.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/oracle.cpp" "src/CMakeFiles/salarm.dir/sim/oracle.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/sim/oracle.cpp.o.d"
+  "/root/repo/src/sim/server.cpp" "src/CMakeFiles/salarm.dir/sim/server.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/sim/server.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/CMakeFiles/salarm.dir/sim/simulation.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/sim/simulation.cpp.o.d"
+  "/root/repo/src/strategies/bitmap_region_strategy.cpp" "src/CMakeFiles/salarm.dir/strategies/bitmap_region_strategy.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/strategies/bitmap_region_strategy.cpp.o.d"
+  "/root/repo/src/strategies/optimal.cpp" "src/CMakeFiles/salarm.dir/strategies/optimal.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/strategies/optimal.cpp.o.d"
+  "/root/repo/src/strategies/rect_region_strategy.cpp" "src/CMakeFiles/salarm.dir/strategies/rect_region_strategy.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/strategies/rect_region_strategy.cpp.o.d"
+  "/root/repo/src/strategies/safe_period.cpp" "src/CMakeFiles/salarm.dir/strategies/safe_period.cpp.o" "gcc" "src/CMakeFiles/salarm.dir/strategies/safe_period.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

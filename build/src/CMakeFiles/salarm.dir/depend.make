@@ -1,0 +1,2 @@
+# Empty dependencies file for salarm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alarms_test.cpp" "tests/CMakeFiles/salarm_tests.dir/alarms_test.cpp.o" "gcc" "tests/CMakeFiles/salarm_tests.dir/alarms_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/salarm_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/salarm_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/corner_baseline_test.cpp" "tests/CMakeFiles/salarm_tests.dir/corner_baseline_test.cpp.o" "gcc" "tests/CMakeFiles/salarm_tests.dir/corner_baseline_test.cpp.o.d"
+  "/root/repo/tests/experiment_test.cpp" "tests/CMakeFiles/salarm_tests.dir/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/salarm_tests.dir/experiment_test.cpp.o.d"
+  "/root/repo/tests/geometry_test.cpp" "tests/CMakeFiles/salarm_tests.dir/geometry_test.cpp.o" "gcc" "tests/CMakeFiles/salarm_tests.dir/geometry_test.cpp.o.d"
+  "/root/repo/tests/grid_index_test.cpp" "tests/CMakeFiles/salarm_tests.dir/grid_index_test.cpp.o" "gcc" "tests/CMakeFiles/salarm_tests.dir/grid_index_test.cpp.o.d"
+  "/root/repo/tests/grid_test.cpp" "tests/CMakeFiles/salarm_tests.dir/grid_test.cpp.o" "gcc" "tests/CMakeFiles/salarm_tests.dir/grid_test.cpp.o.d"
+  "/root/repo/tests/mobility_test.cpp" "tests/CMakeFiles/salarm_tests.dir/mobility_test.cpp.o" "gcc" "tests/CMakeFiles/salarm_tests.dir/mobility_test.cpp.o.d"
+  "/root/repo/tests/motion_model_test.cpp" "tests/CMakeFiles/salarm_tests.dir/motion_model_test.cpp.o" "gcc" "tests/CMakeFiles/salarm_tests.dir/motion_model_test.cpp.o.d"
+  "/root/repo/tests/mwpsr_test.cpp" "tests/CMakeFiles/salarm_tests.dir/mwpsr_test.cpp.o" "gcc" "tests/CMakeFiles/salarm_tests.dir/mwpsr_test.cpp.o.d"
+  "/root/repo/tests/network_io_test.cpp" "tests/CMakeFiles/salarm_tests.dir/network_io_test.cpp.o" "gcc" "tests/CMakeFiles/salarm_tests.dir/network_io_test.cpp.o.d"
+  "/root/repo/tests/oracle_metrics_test.cpp" "tests/CMakeFiles/salarm_tests.dir/oracle_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/salarm_tests.dir/oracle_metrics_test.cpp.o.d"
+  "/root/repo/tests/position_source_test.cpp" "tests/CMakeFiles/salarm_tests.dir/position_source_test.cpp.o" "gcc" "tests/CMakeFiles/salarm_tests.dir/position_source_test.cpp.o.d"
+  "/root/repo/tests/pyramid_test.cpp" "tests/CMakeFiles/salarm_tests.dir/pyramid_test.cpp.o" "gcc" "tests/CMakeFiles/salarm_tests.dir/pyramid_test.cpp.o.d"
+  "/root/repo/tests/roadnet_test.cpp" "tests/CMakeFiles/salarm_tests.dir/roadnet_test.cpp.o" "gcc" "tests/CMakeFiles/salarm_tests.dir/roadnet_test.cpp.o.d"
+  "/root/repo/tests/rstar_tree_test.cpp" "tests/CMakeFiles/salarm_tests.dir/rstar_tree_test.cpp.o" "gcc" "tests/CMakeFiles/salarm_tests.dir/rstar_tree_test.cpp.o.d"
+  "/root/repo/tests/segment_test.cpp" "tests/CMakeFiles/salarm_tests.dir/segment_test.cpp.o" "gcc" "tests/CMakeFiles/salarm_tests.dir/segment_test.cpp.o.d"
+  "/root/repo/tests/service_test.cpp" "tests/CMakeFiles/salarm_tests.dir/service_test.cpp.o" "gcc" "tests/CMakeFiles/salarm_tests.dir/service_test.cpp.o.d"
+  "/root/repo/tests/simulation_test.cpp" "tests/CMakeFiles/salarm_tests.dir/simulation_test.cpp.o" "gcc" "tests/CMakeFiles/salarm_tests.dir/simulation_test.cpp.o.d"
+  "/root/repo/tests/strategies_test.cpp" "tests/CMakeFiles/salarm_tests.dir/strategies_test.cpp.o" "gcc" "tests/CMakeFiles/salarm_tests.dir/strategies_test.cpp.o.d"
+  "/root/repo/tests/trace_io_test.cpp" "tests/CMakeFiles/salarm_tests.dir/trace_io_test.cpp.o" "gcc" "tests/CMakeFiles/salarm_tests.dir/trace_io_test.cpp.o.d"
+  "/root/repo/tests/wire_format_test.cpp" "tests/CMakeFiles/salarm_tests.dir/wire_format_test.cpp.o" "gcc" "tests/CMakeFiles/salarm_tests.dir/wire_format_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/salarm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
