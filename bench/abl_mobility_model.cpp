@@ -32,7 +32,7 @@ int main() {
   mobility::RandomWaypointSource source(experiment.grid().universe(), rw);
   sim::Simulation waypoint_sim(source, experiment.store(),
                                experiment.grid(), cfg.ticks());
-  const auto waypoint = waypoint_sim.run([&](sim::Server& server) {
+  const auto waypoint = waypoint_sim.run([&](sim::ServerApi& server) {
     return std::make_unique<strategies::RectRegionStrategy>(
         server, cfg.vehicles, model);
   });

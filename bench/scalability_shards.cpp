@@ -1,0 +1,50 @@
+// Scalability study: the sharded cluster tier vs. the monolithic server.
+//
+// Sweeps the shard count (spatial partitions of the universe) and the tick-
+// executor thread count for the MWPSR strategy, against the monolithic
+// single-server reference. Reports wall-clock per sweep point (informational
+// only — the cost models use counted events) plus the cluster's inter-shard
+// handoff traffic, the price of spatial partitioning. Every point must stay
+// 100% accurate and bit-identical across thread counts; the determinism
+// regression test (tests/simulation_test.cpp) enforces the latter, this
+// bench enforces the former via require_perfect.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace salarm;
+
+int main() {
+  const core::ExperimentConfig cfg = bench::default_config();
+  bench::print_banner("Cluster scalability",
+                      "sharded MWPSR vs. shard x thread count", cfg);
+
+  core::Experiment experiment(cfg);
+  const auto factory = experiment.rect(saferegion::MotionModel(1.0, 32));
+
+  const auto mono = experiment.simulation().run(factory);
+  bench::require_perfect(mono);
+  std::printf("monolithic reference: %.3f s wall, %s uplink msgs\n\n",
+              mono.wall_seconds,
+              bench::with_commas(mono.metrics.uplink_messages).c_str());
+
+  std::printf("%-8s %-8s %12s %14s %14s %12s\n", "shards", "threads",
+              "wall (s)", "handoff msgs", "handoff KB", "speedup");
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      const auto run = experiment.simulation().run_sharded(
+          factory, {.shards = shards, .threads = threads});
+      bench::require_perfect(run);
+      std::printf("%-8zu %-8zu %12.3f %14s %14.1f %11.2fx\n", shards,
+                  threads, run.wall_seconds,
+                  bench::with_commas(run.metrics.handoff_messages).c_str(),
+                  static_cast<double>(run.metrics.handoff_bytes) / 1024.0,
+                  mono.wall_seconds / run.wall_seconds);
+    }
+  }
+  std::printf(
+      "\nhandoff traffic depends on shards only (boundary crossings), never "
+      "on threads;\nspeedup needs real cores — on a single-core host the "
+      "pool only adds overhead.\n");
+  return 0;
+}

@@ -12,9 +12,8 @@ AlarmStore::AlarmStore(std::size_t rtree_node_capacity)
     : rtree_node_capacity_(rtree_node_capacity),
       tree_(rtree_node_capacity) {}
 
-void AlarmStore::install(SpatialAlarm alarm) {
-  SALARM_REQUIRE(alarm.id == alarms_.size(),
-                 "alarm ids must be installed densely in order");
+void AlarmStore::admit(SpatialAlarm& alarm) {
+  SALARM_REQUIRE(!installed(alarm.id), "alarm id already installed");
   SALARM_REQUIRE(alarm.region.area() > 0.0,
                  "alarm region must have positive area");
   if (alarm.scope == AlarmScope::kPublic) {
@@ -28,9 +27,14 @@ void AlarmStore::install(SpatialAlarm alarm) {
   alarm.subscribers.erase(
       std::unique(alarm.subscribers.begin(), alarm.subscribers.end()),
       alarm.subscribers.end());
+  if (alarm.id >= slot_of_.size()) slot_of_.resize(alarm.id + 1, kNoSlot);
+  slot_of_[alarm.id] = alarms_.size();
+}
+
+void AlarmStore::install(SpatialAlarm alarm) {
+  admit(alarm);
   tree_.insert({alarm.region, alarm.id});
   alarms_.push_back(std::move(alarm));
-  installed_.push_back(true);
 }
 
 void AlarmStore::install_bulk(std::vector<SpatialAlarm> alarms) {
@@ -38,52 +42,39 @@ void AlarmStore::install_bulk(std::vector<SpatialAlarm> alarms) {
   std::vector<index::Entry> entries;
   entries.reserve(alarms.size());
   alarms_.reserve(alarms.size());
-  installed_.reserve(alarms.size());
   for (SpatialAlarm& alarm : alarms) {
-    SALARM_REQUIRE(alarm.id == alarms_.size(),
-                   "alarm ids must be installed densely in order");
-    SALARM_REQUIRE(alarm.region.area() > 0.0,
-                   "alarm region must have positive area");
-    if (alarm.scope == AlarmScope::kPublic) {
-      SALARM_REQUIRE(alarm.subscribers.empty(),
-                     "public alarms must not carry a subscriber list");
-    } else {
-      SALARM_REQUIRE(!alarm.subscribers.empty(),
-                     "non-public alarms need at least one subscriber");
-    }
-    std::sort(alarm.subscribers.begin(), alarm.subscribers.end());
-    alarm.subscribers.erase(
-        std::unique(alarm.subscribers.begin(), alarm.subscribers.end()),
-        alarm.subscribers.end());
+    admit(alarm);
     entries.push_back({alarm.region, alarm.id});
     alarms_.push_back(std::move(alarm));
-    installed_.push_back(true);
   }
   tree_ = index::RStarTree::bulk_load(std::move(entries),
                                       rtree_node_capacity_);
 }
 
 bool AlarmStore::uninstall(AlarmId id) {
-  if (id >= alarms_.size() || !installed_[id]) return false;
-  const bool erased = tree_.erase({alarms_[id].region, id});
+  const std::size_t slot = slot_of(id);
+  if (slot == kNoSlot) return false;
+  const bool erased = tree_.erase({alarms_[slot].region, id});
   SALARM_ASSERT(erased, "installed alarm missing from index");
-  installed_[id] = false;
+  slot_of_[id] = kNoSlot;
   return true;
 }
 
 void AlarmStore::move_alarm(AlarmId id, const geo::Rect& new_region) {
-  SALARM_REQUIRE(id < alarms_.size() && installed_[id], "no such alarm");
+  const std::size_t slot = slot_of(id);
+  SALARM_REQUIRE(slot != kNoSlot, "no such alarm");
   SALARM_REQUIRE(new_region.area() > 0.0,
                  "alarm region must have positive area");
-  const bool erased = tree_.erase({alarms_[id].region, id});
+  const bool erased = tree_.erase({alarms_[slot].region, id});
   SALARM_ASSERT(erased, "installed alarm missing from index");
-  alarms_[id].region = new_region;
+  alarms_[slot].region = new_region;
   tree_.insert({new_region, id});
 }
 
 const SpatialAlarm& AlarmStore::alarm(AlarmId id) const {
-  SALARM_REQUIRE(id < alarms_.size() && installed_[id], "no such alarm");
-  return alarms_[id];
+  const std::size_t slot = slot_of(id);
+  SALARM_REQUIRE(slot != kNoSlot, "no such alarm");
+  return alarms_[slot];
 }
 
 bool AlarmStore::subscribed(const SpatialAlarm& alarm, SubscriberId s) {
@@ -100,7 +91,7 @@ std::vector<const SpatialAlarm*> AlarmStore::relevant_in_window(
     const geo::Rect& window, SubscriberId s) const {
   std::vector<const SpatialAlarm*> out;
   tree_.visit(window, [&](const index::Entry& e) {
-    const SpatialAlarm& a = alarms_[static_cast<AlarmId>(e.id)];
+    const SpatialAlarm& a = alarms_[slot_of_[static_cast<AlarmId>(e.id)]];
     if (relevant(a, s)) out.push_back(&a);
     return true;
   });
@@ -111,7 +102,7 @@ std::vector<const SpatialAlarm*> AlarmStore::relevant_nonpublic_in_window(
     const geo::Rect& window, SubscriberId s) const {
   std::vector<const SpatialAlarm*> out;
   tree_.visit(window, [&](const index::Entry& e) {
-    const SpatialAlarm& a = alarms_[static_cast<AlarmId>(e.id)];
+    const SpatialAlarm& a = alarms_[slot_of_[static_cast<AlarmId>(e.id)]];
     if (a.scope != AlarmScope::kPublic && relevant(a, s)) out.push_back(&a);
     return true;
   });
@@ -122,7 +113,7 @@ std::vector<const SpatialAlarm*> AlarmStore::public_in_window(
     const geo::Rect& window) const {
   std::vector<const SpatialAlarm*> out;
   tree_.visit(window, [&](const index::Entry& e) {
-    const SpatialAlarm& a = alarms_[static_cast<AlarmId>(e.id)];
+    const SpatialAlarm& a = alarms_[slot_of_[static_cast<AlarmId>(e.id)]];
     if (a.scope == AlarmScope::kPublic) out.push_back(&a);
     return true;
   });
@@ -134,7 +125,7 @@ std::vector<AlarmId> AlarmStore::process_position(
     std::vector<TriggerEvent>* log) {
   std::vector<AlarmId> fired;
   tree_.visit(geo::Rect(p, p), [&](const index::Entry& e) {
-    const SpatialAlarm& a = alarms_[static_cast<AlarmId>(e.id)];
+    const SpatialAlarm& a = alarms_[slot_of_[static_cast<AlarmId>(e.id)]];
     // Open-interior trigger semantics: the alarm fires when the subscriber
     // enters the interior of the region; merely touching the boundary does
     // not (and safe regions may legally share that boundary).
@@ -149,7 +140,7 @@ std::vector<AlarmId> AlarmStore::process_position(
 }
 
 void AlarmStore::mark_spent(AlarmId id, SubscriberId s) {
-  SALARM_REQUIRE(id < alarms_.size() && installed_[id], "no such alarm");
+  SALARM_REQUIRE(installed(id), "no such alarm");
   spent_.insert(spend_key(id, s));
 }
 
@@ -162,7 +153,7 @@ void AlarmStore::reset_triggers() { spent_.clear(); }
 double AlarmStore::nearest_relevant_distance(geo::Point p,
                                              SubscriberId s) const {
   return tree_.nearest_distance(p, [&](const index::Entry& e) {
-    return relevant(alarms_[static_cast<AlarmId>(e.id)], s);
+    return relevant(alarms_[slot_of_[static_cast<AlarmId>(e.id)]], s);
   });
 }
 

@@ -39,18 +39,24 @@ struct AlarmWorkloadConfig {
 /// Holds all installed alarms and answers the server's spatial questions.
 /// The R*-tree node-access counter doubles as the alarm-processing cost
 /// meter for the server cost model.
+///
+/// Alarm ids need not be dense: a store may hold an arbitrary subset of a
+/// global id space. The cluster tier (cluster/sharded_server.h) relies on
+/// this to give every shard a slice of the global alarm set under the
+/// original global ids, so trigger logs and spent state stay comparable
+/// across shards.
 class AlarmStore {
  public:
   explicit AlarmStore(std::size_t rtree_node_capacity = 16);
 
-  /// Installs an alarm; its id must be unique within the store. The region
+  /// Installs an alarm; its id must not already be installed. The region
   /// must have positive area. Subscriber lists are kept sorted.
   void install(SpatialAlarm alarm);
 
-  /// Installs a whole workload at once (ids dense from the current size),
-  /// bulk-loading the R*-tree with STR packing — the right way to stand up
-  /// the paper's 10,000-alarm index at startup. Only valid on an empty
-  /// store.
+  /// Installs a whole workload at once (ids must be unique but may be any
+  /// subset of the id space), bulk-loading the R*-tree with STR packing —
+  /// the right way to stand up the paper's 10,000-alarm index at startup.
+  /// Only valid on an empty store.
   void install_bulk(std::vector<SpatialAlarm> alarms);
 
   /// Uninstalls an alarm; returns false if absent.
@@ -66,6 +72,9 @@ class AlarmStore {
   std::size_t size() const { return alarms_.size(); }
   const SpatialAlarm& alarm(AlarmId id) const;
   const std::vector<SpatialAlarm>& all() const { return alarms_; }
+
+  /// True when an alarm with this id is currently installed.
+  bool installed(AlarmId id) const { return slot_of(id) != kNoSlot; }
 
   /// True when the alarm applies to the subscriber (public, or subscriber
   /// on the list) and has not yet fired for them.
@@ -120,12 +129,22 @@ class AlarmStore {
   void reset_index_node_accesses() { tree_.reset_node_accesses(); }
 
  private:
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
   std::uint64_t spend_key(AlarmId a, SubscriberId s) const {
     return (static_cast<std::uint64_t>(a) << 32) | s;
   }
 
-  std::vector<SpatialAlarm> alarms_;        // indexed by AlarmId
-  std::vector<bool> installed_;             // tombstones for uninstall
+  std::size_t slot_of(AlarmId id) const {
+    return id < slot_of_.size() ? slot_of_[id] : kNoSlot;
+  }
+
+  /// Validates the alarm, normalizes its subscriber list and records its
+  /// slot; shared by install and install_bulk.
+  void admit(SpatialAlarm& alarm);
+
+  std::vector<SpatialAlarm> alarms_;     // slot order (install order)
+  std::vector<std::size_t> slot_of_;     // AlarmId -> slot (kNoSlot = absent)
   std::size_t rtree_node_capacity_;
   index::RStarTree tree_;
   std::unordered_set<std::uint64_t> spent_;

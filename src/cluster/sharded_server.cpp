@@ -1,0 +1,160 @@
+#include "cluster/sharded_server.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "saferegion/wire_format.h"
+
+namespace salarm::cluster {
+
+namespace {
+// Shard the calling thread is currently processing. Thread-local rather
+// than a member so worker threads of the parallel executor can each hold a
+// different active shard on the same ShardedServer.
+thread_local std::size_t active_shard = static_cast<std::size_t>(-1);
+}  // namespace
+
+ShardedServer::Shard::Shard(std::vector<alarms::SpatialAlarm> slice,
+                            const grid::GridOverlay& grid)
+    : server(store, grid, metrics) {
+  store.install_bulk(std::move(slice));
+}
+
+ShardedServer::ShardedServer(const alarms::AlarmStore& global_alarms,
+                             const grid::GridOverlay& grid,
+                             std::size_t shard_count,
+                             std::size_t subscriber_count)
+    : grid_(grid), map_(grid, shard_count), sessions_(subscriber_count) {
+  shards_.reserve(map_.shard_count());
+  for (std::size_t i = 0; i < map_.shard_count(); ++i) {
+    // Replicate every alarm whose region (closed) intersects the shard
+    // extent: shard-local cell and point queries are closed too, so the
+    // slice answers them exactly as the global store would.
+    std::vector<alarms::SpatialAlarm> slice;
+    for (const alarms::SpatialAlarm& a : global_alarms.all()) {
+      if (a.region.intersects(map_.shard_extent(i))) slice.push_back(a);
+    }
+    shards_.push_back(std::make_unique<Shard>(std::move(slice), grid));
+  }
+}
+
+void ShardedServer::set_active_shard(std::size_t shard) {
+  SALARM_REQUIRE(shard < shards_.size(), "no such shard");
+  active_shard = shard;
+}
+
+sim::Metrics& ShardedServer::metrics() {
+  SALARM_ASSERT(active_shard < shards_.size(),
+                "no active shard on this thread");
+  return shards_[active_shard]->metrics;
+}
+
+ShardedServer::Shard& ShardedServer::contact(alarms::SubscriberId s,
+                                             geo::Point position) {
+  const std::size_t owner = map_.shard_of(position);
+  SALARM_ASSERT(owner == active_shard,
+                "position-taking call outside the active shard");
+  SALARM_REQUIRE(s < sessions_.size(), "subscriber id out of range");
+  Session& session = sessions_[s];
+  Shard& shard = *shards_[owner];
+  if (session.shard != owner) {
+    if (session.shard != kNoShard) {
+      // Boundary crossing: the old owner hands the session over. The
+      // message is charged to the receiving shard — the only Metrics this
+      // thread may touch right now.
+      ++shard.metrics.handoff_messages;
+      shard.metrics.handoff_bytes +=
+          wire::handoff_message_size(session.fired.size());
+      for (const alarms::AlarmId id : session.fired) {
+        if (shard.store.installed(id)) shard.store.mark_spent(id, s);
+      }
+    }
+    session.shard = owner;
+  }
+  return shard;
+}
+
+std::vector<alarms::AlarmId> ShardedServer::handle_position_update(
+    alarms::SubscriberId s, geo::Point position, std::uint64_t tick) {
+  Shard& shard = contact(s, position);
+  std::vector<alarms::AlarmId> fired =
+      shard.server.handle_position_update(s, position, tick);
+  Session& session = sessions_[s];
+  session.fired.insert(session.fired.end(), fired.begin(), fired.end());
+  return fired;
+}
+
+saferegion::RectSafeRegion ShardedServer::compute_rect_region(
+    alarms::SubscriberId s, geo::Point position, double heading,
+    const saferegion::MotionModel& model,
+    const saferegion::MwpsrOptions& options) {
+  return contact(s, position)
+      .server.compute_rect_region(s, position, heading, model, options);
+}
+
+saferegion::RectSafeRegion ShardedServer::compute_corner_baseline_region(
+    alarms::SubscriberId s, geo::Point position, double heading,
+    const saferegion::MotionModel& model) {
+  return contact(s, position)
+      .server.compute_corner_baseline_region(s, position, heading, model);
+}
+
+saferegion::PyramidBitmap ShardedServer::compute_pyramid_region(
+    alarms::SubscriberId s, geo::Point position,
+    const saferegion::PyramidConfig& config) {
+  return contact(s, position).server.compute_pyramid_region(s, position,
+                                                            config);
+}
+
+void ShardedServer::enable_public_bitmap_cache(
+    const saferegion::PyramidConfig& config) {
+  for (auto& shard : shards_) shard->server.enable_public_bitmap_cache(config);
+}
+
+double ShardedServer::compute_safe_period(alarms::SubscriberId s,
+                                          geo::Point position,
+                                          double max_speed_mps,
+                                          double tick_seconds) {
+  Shard& shard = contact(s, position);
+  return shard.server.compute_safe_period(
+      s, position, max_speed_mps, tick_seconds,
+      map_.escape_distance(sessions_[s].shard, position));
+}
+
+std::vector<const alarms::SpatialAlarm*> ShardedServer::push_alarms(
+    alarms::SubscriberId s, geo::Point position) {
+  return contact(s, position).server.push_alarms(s, position);
+}
+
+const alarms::AlarmStore& ShardedServer::shard_store(std::size_t shard) const {
+  SALARM_REQUIRE(shard < shards_.size(), "no such shard");
+  return shards_[shard]->store;
+}
+
+const sim::Metrics& ShardedServer::shard_metrics(std::size_t shard) const {
+  SALARM_REQUIRE(shard < shards_.size(), "no such shard");
+  return shards_[shard]->metrics;
+}
+
+const sim::Server& ShardedServer::shard_server(std::size_t shard) const {
+  SALARM_REQUIRE(shard < shards_.size(), "no such shard");
+  return shards_[shard]->server;
+}
+
+sim::Metrics ShardedServer::merged_metrics() const {
+  sim::Metrics merged;
+  for (const auto& shard : shards_) merged.merge(shard->metrics);
+  return merged;
+}
+
+std::vector<alarms::TriggerEvent> ShardedServer::merged_trigger_log() const {
+  std::vector<alarms::TriggerEvent> log;
+  for (const auto& shard : shards_) {
+    const auto& shard_log = shard->server.trigger_log();
+    log.insert(log.end(), shard_log.begin(), shard_log.end());
+  }
+  std::sort(log.begin(), log.end());
+  return log;
+}
+
+}  // namespace salarm::cluster

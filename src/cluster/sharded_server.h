@@ -1,0 +1,133 @@
+// Spatially sharded alarm-processing cluster behind the ServerApi facade.
+//
+// N shards each own one stripe of the universe (cluster/shard_map.h) and
+// run a full monolithic sim::Server over a slice of the global alarm set:
+// every alarm whose region (closed) intersects the shard extent, under its
+// original global id (alarms/alarm_store.h sparse ids). Because safe
+// regions are computed within a single grid cell and cells never span
+// shards, each shard answers its cell queries exactly as the monolithic
+// server would — the strategies run unchanged and remain 100% accurate.
+//
+// Border-spanning alarms are replicated to every overlapping shard, so a
+// trigger must be deduplicated across shards: each subscriber session
+// carries the cumulative list of alarms fired for it, and on the first
+// contact after crossing a shard boundary the session is handed off to the
+// new owner — an explicit inter-shard message (wire::kShardHandoff),
+// charged to the *receiving* shard's metrics (the source shard's metrics
+// may be owned by another thread at that moment) — which marks those
+// alarms spent in the destination store before the contact proceeds.
+//
+// Threading/determinism contract: the caller (sim::Simulation's sharded
+// run mode) groups subscribers by owning shard each tick and processes
+// each group on one thread after set_active_shard(); a shard's store,
+// metrics and server are only ever touched by the thread holding its
+// group, and per-subscriber sessions only by the thread processing that
+// subscriber. Merged results use stable shard order, so metrics and
+// trigger logs are bit-identical for any thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "alarms/alarm_store.h"
+#include "cluster/shard_map.h"
+#include "grid/grid_overlay.h"
+#include "sim/metrics.h"
+#include "sim/server.h"
+#include "sim/server_api.h"
+
+namespace salarm::cluster {
+
+class ShardedServer final : public sim::ServerApi {
+ public:
+  /// Builds `shard_count` shards (clamped to the grid's stripe count) over
+  /// slices of the given global alarm set. `subscriber_count` bounds the
+  /// subscriber id space (sessions are pre-sized so no allocation happens
+  /// on the parallel path). The grid must outlive the server.
+  ShardedServer(const alarms::AlarmStore& global_alarms,
+                const grid::GridOverlay& grid, std::size_t shard_count,
+                std::size_t subscriber_count);
+
+  // ---- ServerApi (all position-taking calls route to the owning shard,
+  // which must be the active shard of the calling thread) ----
+  std::vector<alarms::AlarmId> handle_position_update(
+      alarms::SubscriberId s, geo::Point position,
+      std::uint64_t tick) override;
+  saferegion::RectSafeRegion compute_rect_region(
+      alarms::SubscriberId s, geo::Point position, double heading,
+      const saferegion::MotionModel& model,
+      const saferegion::MwpsrOptions& options) override;
+  saferegion::RectSafeRegion compute_corner_baseline_region(
+      alarms::SubscriberId s, geo::Point position, double heading,
+      const saferegion::MotionModel& model) override;
+  saferegion::PyramidBitmap compute_pyramid_region(
+      alarms::SubscriberId s, geo::Point position,
+      const saferegion::PyramidConfig& config) override;
+  void enable_public_bitmap_cache(
+      const saferegion::PyramidConfig& config) override;
+  /// Safe period with the grant capped at the shard's escape distance: the
+  /// shard knows nothing about alarms beyond its extent, so the granted
+  /// travel distance must not outrun its spatial authority.
+  double compute_safe_period(alarms::SubscriberId s, geo::Point position,
+                             double max_speed_mps,
+                             double tick_seconds) override;
+  std::vector<const alarms::SpatialAlarm*> push_alarms(
+      alarms::SubscriberId s, geo::Point position) override;
+  const grid::GridOverlay& grid() const override { return grid_; }
+  /// Metrics of the calling thread's active shard: client-side work is
+  /// charged to the shard hosting the subscriber this tick.
+  sim::Metrics& metrics() override;
+
+  // ---- Cluster control / inspection ----
+  /// Declares which shard the calling thread is processing; every
+  /// subsequent ServerApi call on this thread must target it. The sharded
+  /// run mode calls this once per (thread, shard group).
+  void set_active_shard(std::size_t shard);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  const ShardMap& map() const { return map_; }
+  const alarms::AlarmStore& shard_store(std::size_t shard) const;
+  const sim::Metrics& shard_metrics(std::size_t shard) const;
+  const sim::Server& shard_server(std::size_t shard) const;
+
+  /// All shards' metrics merged in stable shard order.
+  sim::Metrics merged_metrics() const;
+  /// All shards' trigger logs concatenated and sorted into the global
+  /// (tick, subscriber, alarm) order.
+  std::vector<alarms::TriggerEvent> merged_trigger_log() const;
+
+ private:
+  static constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+
+  /// One shard's complete server state; never moved (the Server holds
+  /// references into its siblings).
+  struct Shard {
+    Shard(std::vector<alarms::SpatialAlarm> slice,
+          const grid::GridOverlay& grid);
+    alarms::AlarmStore store;
+    sim::Metrics metrics;
+    sim::Server server;
+  };
+
+  /// A subscriber's cluster-side session: its current owning shard and the
+  /// cumulative set of alarms already fired for it (carried across shard
+  /// boundaries by the handoff).
+  struct Session {
+    std::size_t shard = kNoShard;
+    std::vector<alarms::AlarmId> fired;
+  };
+
+  /// Routes a position-taking call: resolves the owning shard, performs
+  /// the session handoff if the subscriber just crossed a boundary, and
+  /// returns the shard to forward to.
+  Shard& contact(alarms::SubscriberId s, geo::Point position);
+
+  const grid::GridOverlay& grid_;
+  ShardMap map_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<Session> sessions_;
+};
+
+}  // namespace salarm::cluster

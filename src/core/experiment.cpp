@@ -86,7 +86,7 @@ double Experiment::max_speed_bound() const {
 }
 
 sim::Simulation::StrategyFactory Experiment::periodic() const {
-  return [](sim::Server& server) {
+  return [](sim::ServerApi& server) {
     return std::make_unique<strategies::PeriodicStrategy>(server);
   };
 }
@@ -97,7 +97,7 @@ sim::Simulation::StrategyFactory Experiment::safe_period(
   const double bound = max_speed_bound();
   const double tick = config_.tick_seconds;
   return [subscribers, bound, tick,
-          speed_assumption_factor](sim::Server& server) {
+          speed_assumption_factor](sim::ServerApi& server) {
     return std::make_unique<strategies::SafePeriodStrategy>(
         server, subscribers, bound, tick, speed_assumption_factor);
   };
@@ -106,7 +106,7 @@ sim::Simulation::StrategyFactory Experiment::safe_period(
 sim::Simulation::StrategyFactory Experiment::rect(
     saferegion::MotionModel model, saferegion::MwpsrOptions options) const {
   const std::size_t subscribers = config_.vehicles;
-  return [subscribers, model, options](sim::Server& server) {
+  return [subscribers, model, options](sim::ServerApi& server) {
     return std::make_unique<strategies::RectRegionStrategy>(
         server, subscribers, model, options);
   };
@@ -115,7 +115,7 @@ sim::Simulation::StrategyFactory Experiment::rect(
 sim::Simulation::StrategyFactory Experiment::rect_corner_baseline(
     saferegion::MotionModel model) const {
   const std::size_t subscribers = config_.vehicles;
-  return [subscribers, model](sim::Server& server) {
+  return [subscribers, model](sim::ServerApi& server) {
     return std::make_unique<strategies::RectRegionStrategy>(
         server, subscribers, model, saferegion::MwpsrOptions{},
         /*corner_baseline=*/true);
@@ -126,7 +126,7 @@ sim::Simulation::StrategyFactory Experiment::rect_with_loss(
     saferegion::MotionModel model, double loss_rate) const {
   const std::size_t subscribers = config_.vehicles;
   const std::uint64_t seed = config_.seed * 31 + 11;
-  return [subscribers, model, loss_rate, seed](sim::Server& server) {
+  return [subscribers, model, loss_rate, seed](sim::ServerApi& server) {
     auto strategy = std::make_unique<strategies::RectRegionStrategy>(
         server, subscribers, model);
     strategy->set_downstream_loss(loss_rate, seed);
@@ -138,7 +138,7 @@ sim::Simulation::StrategyFactory Experiment::bitmap_with_loss(
     saferegion::PyramidConfig config, double loss_rate) const {
   const std::size_t subscribers = config_.vehicles;
   const std::uint64_t seed = config_.seed * 31 + 13;
-  return [subscribers, config, loss_rate, seed](sim::Server& server) {
+  return [subscribers, config, loss_rate, seed](sim::ServerApi& server) {
     auto strategy = std::make_unique<strategies::BitmapRegionStrategy>(
         server, subscribers, config);
     strategy->set_downstream_loss(loss_rate, seed);
@@ -149,7 +149,7 @@ sim::Simulation::StrategyFactory Experiment::bitmap_with_loss(
 sim::Simulation::StrategyFactory Experiment::bitmap(
     saferegion::PyramidConfig config) const {
   const std::size_t subscribers = config_.vehicles;
-  return [subscribers, config](sim::Server& server) {
+  return [subscribers, config](sim::ServerApi& server) {
     return std::make_unique<strategies::BitmapRegionStrategy>(
         server, subscribers, config);
   };
@@ -158,7 +158,7 @@ sim::Simulation::StrategyFactory Experiment::bitmap(
 sim::Simulation::StrategyFactory Experiment::bitmap_cached(
     saferegion::PyramidConfig config) const {
   const std::size_t subscribers = config_.vehicles;
-  return [subscribers, config](sim::Server& server) {
+  return [subscribers, config](sim::ServerApi& server) {
     return std::make_unique<strategies::BitmapRegionStrategy>(
         server, subscribers, config, /*use_public_cache=*/true);
   };
@@ -166,7 +166,7 @@ sim::Simulation::StrategyFactory Experiment::bitmap_cached(
 
 sim::Simulation::StrategyFactory Experiment::optimal() const {
   const std::size_t subscribers = config_.vehicles;
-  return [subscribers](sim::Server& server) {
+  return [subscribers](sim::ServerApi& server) {
     return std::make_unique<strategies::OptimalStrategy>(server, subscribers);
   };
 }

@@ -334,4 +334,13 @@ std::size_t trigger_notice_size(std::size_t message_bytes) {
   return 1 + 4 + 2 + message_bytes;
 }
 
+// --------------------------------------------------------------------------
+// ShardHandoff: type(1) subscriber(4) position(16) time(8) count(4)
+//               spent alarm ids(4 each)
+// --------------------------------------------------------------------------
+
+std::size_t handoff_message_size(std::size_t spent_alarms) {
+  return 1 + 4 + 16 + 8 + 4 + spent_alarms * 4;
+}
+
 }  // namespace salarm::wire

@@ -31,6 +31,7 @@ enum class MessageType : std::uint8_t {
   kAlarmPush = 4,        ///< server -> client (OPT)
   kSafePeriod = 5,       ///< server -> client (SP baseline)
   kTriggerNotice = 6,    ///< server -> client (all strategies)
+  kShardHandoff = 7,     ///< shard -> shard (cluster session transfer)
 };
 
 /// Client position report.
@@ -122,5 +123,10 @@ std::size_t trigger_notice_size(std::size_t message_bytes);
 
 /// Size of a rectangular safe-region message (constant).
 std::size_t rect_message_size();
+
+/// Size of an inter-shard session handoff carrying the subscriber id, its
+/// last position/time and the ids of `spent_alarms` already-fired alarms
+/// (cluster tier; counted, never materialized on the simulation hot path).
+std::size_t handoff_message_size(std::size_t spent_alarms);
 
 }  // namespace salarm::wire

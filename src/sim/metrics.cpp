@@ -13,6 +13,8 @@ void Metrics::merge(const Metrics& other) {
   client_check_ops += other.client_check_ops;
   server_alarm_ops += other.server_alarm_ops;
   server_region_ops += other.server_region_ops;
+  handoff_messages += other.handoff_messages;
+  handoff_bytes += other.handoff_bytes;
   safe_region_recomputes += other.safe_region_recomputes;
   triggers += other.triggers;
   region_payload_bytes.merge(other.region_payload_bytes);
@@ -26,6 +28,8 @@ std::string Metrics::to_string() const {
      << " client_check_ops=" << client_check_ops
      << " server_alarm_ops=" << server_alarm_ops
      << " server_region_ops=" << server_region_ops
+     << " handoff_messages=" << handoff_messages
+     << " handoff_bytes=" << handoff_bytes
      << " recomputes=" << safe_region_recomputes
      << " triggers=" << triggers;
   return os.str();

@@ -43,6 +43,14 @@ struct Metrics {
   /// accesses).
   std::uint64_t server_region_ops = 0;
 
+  // ---- Cluster tier (inter-shard traffic; zero on monolithic runs) ----
+  /// Subscriber session handoffs between spatial shards: emitted when a
+  /// subscriber's first contact after crossing a shard boundary transfers
+  /// its session (including globally spent alarms) to the new owner.
+  /// Charged to the receiving shard (see cluster/sharded_server.h).
+  std::uint64_t handoff_messages = 0;
+  std::uint64_t handoff_bytes = 0;
+
   // ---- Outcomes ----
   std::uint64_t safe_region_recomputes = 0;
   std::uint64_t triggers = 0;

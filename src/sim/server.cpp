@@ -160,13 +160,23 @@ saferegion::PyramidBitmap Server::compute_pyramid_region(
 double Server::compute_safe_period(alarms::SubscriberId s,
                                    geo::Point position, double max_speed_mps,
                                    double tick_seconds) {
+  return compute_safe_period(s, position, max_speed_mps, tick_seconds,
+                             std::numeric_limits<double>::infinity());
+}
+
+double Server::compute_safe_period(alarms::SubscriberId s,
+                                   geo::Point position, double max_speed_mps,
+                                   double tick_seconds,
+                                   double distance_bound) {
   SALARM_REQUIRE(max_speed_mps > 0.0, "speed bound must be positive");
   SALARM_REQUIRE(tick_seconds > 0.0, "tick must be positive");
-  const double distance = charged(&Metrics::server_region_ops, [&] {
+  SALARM_REQUIRE(distance_bound >= 0.0, "distance bound must be nonnegative");
+  const double nearest = charged(&Metrics::server_region_ops, [&] {
     return store_.nearest_relevant_distance(position, s);
   });
   ++metrics_.safe_region_recomputes;
-  if (std::isinf(distance)) return distance;  // no relevant alarms remain
+  const double distance = std::min(nearest, distance_bound);
+  if (std::isinf(distance)) return distance;  // no relevant alarms in reach
   const std::size_t bytes = wire::encoded_size(wire::SafePeriodMsg{});
   metrics_.downstream_region_bytes += bytes;
   metrics_.region_payload_bytes.add(static_cast<double>(bytes));

@@ -21,6 +21,7 @@
 #include "saferegion/pyramid.h"
 #include "saferegion/wire_format.h"
 #include "sim/metrics.h"
+#include "sim/server_api.h"
 
 namespace salarm::sim {
 
@@ -32,7 +33,7 @@ namespace salarm::sim {
 inline constexpr std::uint64_t kOpsPerNodeAccess = 16;
 inline constexpr std::uint64_t kOpsPerUpdateOverhead = 25;
 
-class Server {
+class Server final : public ServerApi {
  public:
   /// The store, grid and metrics must outlive the server.
   Server(alarms::AlarmStore& store, const grid::GridOverlay& grid,
@@ -43,21 +44,22 @@ class Server {
   /// fired for this subscriber (now spent); trigger notices are charged to
   /// the downstream notice counter and events appended to the trigger log.
   std::vector<alarms::AlarmId> handle_position_update(
-      alarms::SubscriberId s, geo::Point position, std::uint64_t tick);
+      alarms::SubscriberId s, geo::Point position,
+      std::uint64_t tick) override;
 
   /// Computes a rectangular (MWPSR) safe region for the subscriber at the
   /// given position/heading and charges its wire size downstream.
   saferegion::RectSafeRegion compute_rect_region(
       alarms::SubscriberId s, geo::Point position, double heading,
       const saferegion::MotionModel& model,
-      const saferegion::MwpsrOptions& options);
+      const saferegion::MwpsrOptions& options) override;
 
   /// Computes the unsound Hu et al. [10]-style corner-candidate baseline
   /// region (see saferegion/corner_baseline.h); used only by the ablation
   /// reproducing the paper's alarm-miss claim.
   saferegion::RectSafeRegion compute_corner_baseline_region(
       alarms::SubscriberId s, geo::Point position, double heading,
-      const saferegion::MotionModel& model);
+      const saferegion::MotionModel& model) override;
 
   /// Computes a pyramid bitmap over the subscriber's current base cell and
   /// charges its wire size downstream. With the public-bitmap cache
@@ -68,26 +70,37 @@ class Server {
   /// be needlessly conservative there).
   saferegion::PyramidBitmap compute_pyramid_region(
       alarms::SubscriberId s, geo::Point position,
-      const saferegion::PyramidConfig& config);
+      const saferegion::PyramidConfig& config) override;
 
   /// Enables the precomputed public-alarm bitmap cache for the given
   /// pyramid configuration (one configuration per run).
-  void enable_public_bitmap_cache(const saferegion::PyramidConfig& config);
+  void enable_public_bitmap_cache(
+      const saferegion::PyramidConfig& config) override;
 
   /// Computes the safe-period grant: distance to the nearest relevant
   /// alarm region over the worst-case speed bound, clamped below by one
   /// tick. Returns infinity when no relevant alarm remains.
   double compute_safe_period(alarms::SubscriberId s, geo::Point position,
-                             double max_speed_mps, double tick_seconds);
+                             double max_speed_mps,
+                             double tick_seconds) override;
+
+  /// As above, but the granted distance is additionally capped at
+  /// `distance_bound` (meters). The cluster tier uses the bound to keep a
+  /// shard from granting a period that outruns its own spatial authority:
+  /// a shard knows nothing about alarms beyond its extent, so the grant
+  /// must not exceed the distance to its internal boundary.
+  double compute_safe_period(alarms::SubscriberId s, geo::Point position,
+                             double max_speed_mps, double tick_seconds,
+                             double distance_bound);
 
   /// OPT: all relevant alarms intersecting the subscriber's current cell,
   /// charged downstream at the alarm-push wire size.
   std::vector<const alarms::SpatialAlarm*> push_alarms(
-      alarms::SubscriberId s, geo::Point position);
+      alarms::SubscriberId s, geo::Point position) override;
 
-  const grid::GridOverlay& grid() const { return grid_; }
+  const grid::GridOverlay& grid() const override { return grid_; }
   alarms::AlarmStore& store() { return store_; }
-  Metrics& metrics() { return metrics_; }
+  Metrics& metrics() override { return metrics_; }
   const std::vector<alarms::TriggerEvent>& trigger_log() const {
     return trigger_log_;
   }

@@ -1,0 +1,77 @@
+// Abstract server interface the processing strategies program against.
+//
+// A strategy models the client half of the distributed protocol; everything
+// it asks of the server side goes through this interface. Two
+// implementations exist: the monolithic sim::Server (one alarm store, one
+// metrics object — the paper's evaluation setup) and cluster::ShardedServer
+// (N spatially partitioned shards behind the same facade). Strategies are
+// written once against ServerApi and run unchanged on either.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alarms/spatial_alarm.h"
+#include "geometry/point.h"
+#include "grid/grid_overlay.h"
+#include "saferegion/motion_model.h"
+#include "saferegion/mwpsr.h"
+#include "saferegion/pyramid.h"
+#include "sim/metrics.h"
+
+namespace salarm::sim {
+
+class ServerApi {
+ public:
+  virtual ~ServerApi() = default;
+
+  /// Handles one client position report: counts the uplink message,
+  /// evaluates the position against the alarm index and returns the alarms
+  /// fired for this subscriber (now spent).
+  virtual std::vector<alarms::AlarmId> handle_position_update(
+      alarms::SubscriberId s, geo::Point position, std::uint64_t tick) = 0;
+
+  /// Computes a rectangular (MWPSR) safe region for the subscriber at the
+  /// given position/heading and charges its wire size downstream.
+  virtual saferegion::RectSafeRegion compute_rect_region(
+      alarms::SubscriberId s, geo::Point position, double heading,
+      const saferegion::MotionModel& model,
+      const saferegion::MwpsrOptions& options) = 0;
+
+  /// The unsound Hu et al. [10]-style corner-candidate baseline region
+  /// (ablation only; misses alarms by design).
+  virtual saferegion::RectSafeRegion compute_corner_baseline_region(
+      alarms::SubscriberId s, geo::Point position, double heading,
+      const saferegion::MotionModel& model) = 0;
+
+  /// Computes a pyramid bitmap over the subscriber's current base cell and
+  /// charges its wire size downstream.
+  virtual saferegion::PyramidBitmap compute_pyramid_region(
+      alarms::SubscriberId s, geo::Point position,
+      const saferegion::PyramidConfig& config) = 0;
+
+  /// Enables the precomputed public-alarm bitmap cache (paper §4.2); one
+  /// configuration per run.
+  virtual void enable_public_bitmap_cache(
+      const saferegion::PyramidConfig& config) = 0;
+
+  /// Computes the safe-period grant (infinity when no relevant alarm
+  /// remains in reach).
+  virtual double compute_safe_period(alarms::SubscriberId s,
+                                     geo::Point position, double max_speed_mps,
+                                     double tick_seconds) = 0;
+
+  /// OPT: all relevant alarms intersecting the subscriber's current cell,
+  /// charged downstream at the alarm-push wire size. Pointers are valid
+  /// until the next store mutation.
+  virtual std::vector<const alarms::SpatialAlarm*> push_alarms(
+      alarms::SubscriberId s, geo::Point position) = 0;
+
+  virtual const grid::GridOverlay& grid() const = 0;
+
+  /// Metrics object the client-side (per-tick containment) work of the
+  /// subscriber currently being processed is charged to.
+  virtual Metrics& metrics() = 0;
+};
+
+}  // namespace salarm::sim

@@ -1,7 +1,10 @@
 #include "sim/simulation.h"
 
+#include <algorithm>
 #include <chrono>
 
+#include "cluster/parallel_executor.h"
+#include "cluster/sharded_server.h"
 #include "common/error.h"
 
 namespace salarm::sim {
@@ -54,7 +57,76 @@ RunResult Simulation::run(const StrategyFactory& factory) {
   result.wall_seconds =
       std::chrono::duration<double>(end - start).count();
 
-  result.accuracy = compare_triggers(expected, server.trigger_log());
+  result.trigger_log = server.trigger_log();
+  std::sort(result.trigger_log.begin(), result.trigger_log.end());
+  result.accuracy = compare_triggers(expected, result.trigger_log);
+  store_.reset_triggers();
+  return result;
+}
+
+RunResult Simulation::run_sharded(const StrategyFactory& factory,
+                                  const ShardedRunOptions& options) {
+  const auto& expected = oracle();  // ensure cached before timing the run
+
+  store_.reset_triggers();
+  store_.reset_index_node_accesses();
+  source_.reset();
+
+  RunResult result;
+  result.ticks = ticks_;
+  result.subscribers = source_.vehicle_count();
+  result.duration_s = duration_s();
+
+  cluster::ShardedServer server(store_, grid_, options.shards,
+                                source_.vehicle_count());
+  const auto strategy = factory(server);
+  result.strategy = std::string(strategy->name());
+
+  cluster::ParallelTickExecutor executor(options.threads);
+  std::vector<std::vector<mobility::VehicleId>> groups(server.shard_count());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(server.shard_count());
+
+  // Regroups subscribers by owning shard (stable subscriber order within a
+  // group) and fans one task per shard over the pool. Each task declares
+  // its shard active and then touches only that shard's state plus the
+  // sessions of its own subscribers — the determinism contract of
+  // cluster/sharded_server.h.
+  const auto fan_out = [&](auto&& per_subscriber) {
+    const auto& samples = source_.samples();
+    for (auto& group : groups) group.clear();
+    for (mobility::VehicleId v = 0; v < samples.size(); ++v) {
+      groups[server.map().shard_of(samples[v].pos)].push_back(v);
+    }
+    tasks.clear();
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      tasks.push_back([&, i] {
+        server.set_active_shard(i);
+        for (const mobility::VehicleId v : groups[i]) {
+          per_subscriber(v, samples[v]);
+        }
+      });
+    }
+    executor.run(tasks);
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  fan_out([&](mobility::VehicleId v, const mobility::VehicleSample& sample) {
+    strategy->initialize(v, sample);
+  });
+  for (std::size_t t = 1; t < ticks_; ++t) {
+    source_.step();
+    fan_out(
+        [&](mobility::VehicleId v, const mobility::VehicleSample& sample) {
+          strategy->on_tick(v, sample, t);
+        });
+  }
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(end - start).count();
+
+  result.metrics = server.merged_metrics();
+  result.trigger_log = server.merged_trigger_log();
+  result.accuracy = compare_triggers(expected, result.trigger_log);
   store_.reset_triggers();
   return result;
 }

@@ -33,6 +33,18 @@ struct RunResult {
   /// Real wall-clock seconds the run took (informational; the cost models
   /// use counted events, not wall time).
   double wall_seconds = 0.0;
+  /// The run's trigger events in (tick, subscriber, alarm) order; the
+  /// determinism tests compare these byte-for-byte across thread counts.
+  std::vector<alarms::TriggerEvent> trigger_log;
+};
+
+/// Configuration of the sharded (cluster) run mode.
+struct ShardedRunOptions {
+  /// Number of spatial shards (clamped to the grid's stripe count).
+  std::size_t shards = 4;
+  /// Worker threads for the tick executor; 0 = hardware concurrency.
+  /// Results are bit-identical for any value.
+  std::size_t threads = 1;
 };
 
 class Simulation {
@@ -44,13 +56,24 @@ class Simulation {
   Simulation(mobility::PositionSource& source, alarms::AlarmStore& store,
              const grid::GridOverlay& grid, std::size_t ticks);
 
-  /// Builds a strategy against the given server; called once per run.
-  using StrategyFactory =
-      std::function<std::unique_ptr<strategies::ProcessingStrategy>(Server&)>;
+  /// Builds a strategy against the given server; called once per run. The
+  /// same factory drives both run modes — strategies are written against
+  /// ServerApi and cannot tell a monolithic server from a cluster.
+  using StrategyFactory = std::function<
+      std::unique_ptr<strategies::ProcessingStrategy>(ServerApi&)>;
 
   /// Replays the trace from the start under a fresh strategy instance and
   /// returns its metrics and accuracy against the oracle.
   RunResult run(const StrategyFactory& factory);
+
+  /// As run(), but processes the trace on a cluster::ShardedServer:
+  /// subscribers are grouped by owning shard each tick and the groups fan
+  /// out over a fixed thread pool. Metrics are the stable-order merge of
+  /// the per-shard metrics; results are bit-identical for any thread
+  /// count. Accuracy against the oracle is still enforced by the caller's
+  /// tests — sharding is exact (see cluster/sharded_server.h).
+  RunResult run_sharded(const StrategyFactory& factory,
+                        const ShardedRunOptions& options);
 
   /// Ground-truth trigger events (computed on first use, then cached).
   const std::vector<alarms::TriggerEvent>& oracle();

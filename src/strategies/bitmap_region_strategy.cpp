@@ -4,7 +4,7 @@
 
 namespace salarm::strategies {
 
-BitmapRegionStrategy::BitmapRegionStrategy(sim::Server& server,
+BitmapRegionStrategy::BitmapRegionStrategy(sim::ServerApi& server,
                                            std::size_t subscriber_count,
                                            saferegion::PyramidConfig config,
                                            bool use_public_cache)

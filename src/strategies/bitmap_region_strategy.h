@@ -30,7 +30,7 @@ class BitmapRegionStrategy final : public ProcessingStrategy {
  public:
   /// `use_public_cache` enables the server's precomputed public-alarm
   /// bitmap path (paper §4.2).
-  BitmapRegionStrategy(sim::Server& server, std::size_t subscriber_count,
+  BitmapRegionStrategy(sim::ServerApi& server, std::size_t subscriber_count,
                        saferegion::PyramidConfig config,
                        bool use_public_cache = false);
 
@@ -50,7 +50,7 @@ class BitmapRegionStrategy final : public ProcessingStrategy {
  private:
   void refresh(alarms::SubscriberId s, geo::Point position);
 
-  sim::Server& server_;
+  sim::ServerApi& server_;
   saferegion::PyramidConfig config_;
   std::vector<std::optional<saferegion::PyramidBitmap>> bitmaps_;
   double downstream_loss_ = 0.0;

@@ -4,7 +4,7 @@
 
 namespace salarm::strategies {
 
-OptimalStrategy::OptimalStrategy(sim::Server& server,
+OptimalStrategy::OptimalStrategy(sim::ServerApi& server,
                                  std::size_t subscriber_count)
     : server_(server), clients_(subscriber_count) {}
 

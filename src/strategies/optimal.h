@@ -18,7 +18,7 @@ namespace salarm::strategies {
 
 class OptimalStrategy final : public ProcessingStrategy {
  public:
-  OptimalStrategy(sim::Server& server, std::size_t subscriber_count);
+  OptimalStrategy(sim::ServerApi& server, std::size_t subscriber_count);
 
   std::string_view name() const override { return "OPT"; }
 
@@ -37,7 +37,7 @@ class OptimalStrategy final : public ProcessingStrategy {
 
   void fetch_cell(alarms::SubscriberId s, geo::Point position);
 
-  sim::Server& server_;
+  sim::ServerApi& server_;
   std::vector<std::optional<ClientState>> clients_;
 };
 

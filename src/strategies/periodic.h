@@ -13,7 +13,7 @@ namespace salarm::strategies {
 
 class PeriodicStrategy final : public ProcessingStrategy {
  public:
-  explicit PeriodicStrategy(sim::Server& server) : server_(server) {}
+  explicit PeriodicStrategy(sim::ServerApi& server) : server_(server) {}
 
   std::string_view name() const override { return "PRD"; }
 
@@ -28,7 +28,7 @@ class PeriodicStrategy final : public ProcessingStrategy {
   }
 
  private:
-  sim::Server& server_;
+  sim::ServerApi& server_;
 };
 
 }  // namespace salarm::strategies

@@ -4,7 +4,7 @@
 
 namespace salarm::strategies {
 
-RectRegionStrategy::RectRegionStrategy(sim::Server& server,
+RectRegionStrategy::RectRegionStrategy(sim::ServerApi& server,
                                        std::size_t subscriber_count,
                                        saferegion::MotionModel model,
                                        saferegion::MwpsrOptions options,

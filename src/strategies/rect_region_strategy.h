@@ -25,7 +25,7 @@ class RectRegionStrategy final : public ProcessingStrategy {
   /// `corner_baseline` selects the unsound Hu et al. [10]-style region
   /// computation instead of MWPSR — ablation only; it misses alarms by
   /// design (the paper's claim about [10]).
-  RectRegionStrategy(sim::Server& server, std::size_t subscriber_count,
+  RectRegionStrategy(sim::ServerApi& server, std::size_t subscriber_count,
                      saferegion::MotionModel model,
                      saferegion::MwpsrOptions options = {},
                      bool corner_baseline = false);
@@ -52,7 +52,7 @@ class RectRegionStrategy final : public ProcessingStrategy {
                           const mobility::VehicleSample& sample,
                           std::uint64_t tick);
 
-  sim::Server& server_;
+  sim::ServerApi& server_;
   saferegion::MotionModel model_;
   saferegion::MwpsrOptions options_;
   bool corner_baseline_;

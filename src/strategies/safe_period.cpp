@@ -7,7 +7,7 @@
 
 namespace salarm::strategies {
 
-SafePeriodStrategy::SafePeriodStrategy(sim::Server& server,
+SafePeriodStrategy::SafePeriodStrategy(sim::ServerApi& server,
                                        std::size_t subscriber_count,
                                        double max_speed_mps,
                                        double tick_seconds,

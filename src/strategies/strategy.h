@@ -13,7 +13,7 @@
 
 #include "alarms/spatial_alarm.h"
 #include "mobility/trace.h"
-#include "sim/server.h"
+#include "sim/server_api.h"
 
 namespace salarm::strategies {
 

@@ -47,8 +47,8 @@ SpatialAlarm make_shared(AlarmId id, SubscriberId owner,
 TEST(AlarmStoreTest, InstallValidation) {
   AlarmStore store;
   store.install(make_private(0, 1, Rect(0, 0, 10, 10)));
-  // Ids must be dense and in order.
-  EXPECT_THROW(store.install(make_private(5, 1, Rect(0, 0, 1, 1))),
+  // Duplicate ids rejected.
+  EXPECT_THROW(store.install(make_private(0, 1, Rect(0, 0, 1, 1))),
                salarm::PreconditionError);
   // Region must have positive area.
   EXPECT_THROW(store.install(make_private(1, 1, Rect(0, 0, 0, 10))),
@@ -61,6 +61,35 @@ TEST(AlarmStoreTest, InstallValidation) {
   SpatialAlarm empty = make_private(1, 1, Rect(0, 0, 1, 1));
   empty.subscribers.clear();
   EXPECT_THROW(store.install(empty), salarm::PreconditionError);
+}
+
+TEST(AlarmStoreTest, SparseIdsAreFirstClass) {
+  // The cluster tier installs per-shard slices of a global id space: ids
+  // may be any unique subset, in any order.
+  AlarmStore store;
+  store.install(make_private(5, 1, Rect(0, 0, 10, 10)));
+  store.install(make_public(2, Rect(20, 20, 30, 30)));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.installed(5));
+  EXPECT_TRUE(store.installed(2));
+  EXPECT_FALSE(store.installed(0));
+  EXPECT_FALSE(store.installed(100));
+  EXPECT_EQ(store.alarm(5).id, 5u);
+  EXPECT_EQ(store.alarm(2).id, 2u);
+  EXPECT_THROW(store.alarm(0), salarm::PreconditionError);
+
+  const auto hits = store.relevant_in_window(Rect(0, 0, 50, 50), 1);
+  ASSERT_EQ(hits.size(), 2u);
+
+  AlarmStore bulk;
+  bulk.install_bulk({make_public(9, Rect(0, 0, 1, 1)),
+                     make_public(3, Rect(2, 2, 3, 3))});
+  EXPECT_TRUE(bulk.installed(9));
+  EXPECT_TRUE(bulk.installed(3));
+  EXPECT_TRUE(bulk.uninstall(9));
+  EXPECT_FALSE(bulk.installed(9));
+  EXPECT_FALSE(bulk.uninstall(9));
+  EXPECT_TRUE(bulk.installed(3));
 }
 
 TEST(AlarmStoreTest, RelevanceByScope) {
@@ -169,8 +198,9 @@ TEST(AlarmStoreTest, BulkInstallValidation) {
   EXPECT_THROW(store.install_bulk({make_public(1, Rect(0, 0, 5, 5))}),
                salarm::PreconditionError);  // store not empty
   AlarmStore fresh;
-  EXPECT_THROW(fresh.install_bulk({make_public(3, Rect(0, 0, 5, 5))}),
-               salarm::PreconditionError);  // ids not dense from 0
+  EXPECT_THROW(fresh.install_bulk({make_public(3, Rect(0, 0, 5, 5)),
+                                   make_public(3, Rect(1, 1, 5, 5))}),
+               salarm::PreconditionError);  // duplicate ids
 }
 
 TEST(AlarmStoreTest, MoveAlarmFollowsTarget) {

@@ -1,0 +1,402 @@
+// Cluster tier: shard map geometry, border-alarm replication, session
+// handoffs (trigger dedup across shards), safe-period escape clamping, the
+// parallel tick executor, and the exactness of the sharded run mode
+// against the monolithic server.
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cluster/parallel_executor.h"
+#include "cluster/shard_map.h"
+#include "cluster/sharded_server.h"
+#include "core/experiment.h"
+#include "saferegion/wire_format.h"
+
+namespace salarm::cluster {
+namespace {
+
+using geo::Point;
+using geo::Rect;
+
+// ---------------------------------------------------------------------------
+// ShardMap
+// ---------------------------------------------------------------------------
+
+TEST(ShardMapTest, EveryCellHasExactlyOneOwnerAndExtentsTile) {
+  const grid::GridOverlay grid(Rect(0, 0, 8000, 4000), 8, 4);
+  const ShardMap map(grid, 4);
+  ASSERT_EQ(map.shard_count(), 4u);
+
+  double total_area = 0.0;
+  for (std::size_t i = 0; i < map.shard_count(); ++i) {
+    total_area += map.shard_extent(i).area();
+  }
+  EXPECT_DOUBLE_EQ(total_area, grid.universe().area());
+
+  for (std::uint32_t col = 0; col < grid.cols(); ++col) {
+    for (std::uint32_t row = 0; row < grid.rows(); ++row) {
+      const std::size_t owner = map.shard_of_cell({col, row});
+      ASSERT_LT(owner, map.shard_count());
+      EXPECT_TRUE(
+          map.shard_extent(owner).contains(grid.cell_rect({col, row})));
+    }
+  }
+  // Point ownership follows cell ownership.
+  EXPECT_EQ(map.shard_of({100, 100}), map.shard_of_cell(grid.cell_of({100, 100})));
+  EXPECT_EQ(map.shard_of({7900, 3900}),
+            map.shard_of_cell(grid.cell_of({7900, 3900})));
+}
+
+TEST(ShardMapTest, ShardsAreContiguousAndOrdered) {
+  const grid::GridOverlay grid(Rect(0, 0, 6000, 1000), 6, 1);
+  const ShardMap map(grid, 3);
+  ASSERT_EQ(map.shard_count(), 3u);
+  std::size_t last = 0;
+  for (std::uint32_t col = 0; col < grid.cols(); ++col) {
+    const std::size_t owner = map.shard_of_cell({col, 0});
+    EXPECT_GE(owner, last);  // monotone left to right
+    last = owner;
+  }
+  EXPECT_EQ(last, 2u);
+}
+
+TEST(ShardMapTest, ShardCountClampsToStripeCount) {
+  const grid::GridOverlay grid(Rect(0, 0, 4000, 4000), 4, 4);
+  const ShardMap map(grid, 16);
+  EXPECT_EQ(map.shard_count(), 4u);
+}
+
+TEST(ShardMapTest, StripesByRowsWhenGridIsTaller) {
+  const grid::GridOverlay grid(Rect(0, 0, 2000, 8000), 2, 8);
+  const ShardMap map(grid, 4);
+  ASSERT_EQ(map.shard_count(), 4u);
+  // Rows 0-1 belong to shard 0, rows 6-7 to shard 3.
+  EXPECT_EQ(map.shard_of_cell({0, 0}), 0u);
+  EXPECT_EQ(map.shard_of_cell({1, 0}), 0u);
+  EXPECT_EQ(map.shard_of_cell({0, 7}), 3u);
+}
+
+TEST(ShardMapTest, EscapeDistanceIgnoresUniverseEdges) {
+  const grid::GridOverlay grid(Rect(0, 0, 4000, 4000), 4, 4);
+  const ShardMap map(grid, 2);  // boundary at x = 2000
+  // Shard 0: only its right side is internal.
+  EXPECT_DOUBLE_EQ(map.escape_distance(0, {100, 2000}), 1900.0);
+  // Shard 1: only its left side is internal.
+  EXPECT_DOUBLE_EQ(map.escape_distance(1, {3900, 100}), 1900.0);
+  // Point on the boundary itself: zero escape distance.
+  EXPECT_DOUBLE_EQ(map.escape_distance(1, {2000, 500}), 0.0);
+}
+
+TEST(ShardMapTest, SingleShardEscapesNowhere) {
+  const grid::GridOverlay grid(Rect(0, 0, 4000, 4000), 4, 4);
+  const ShardMap map(grid, 1);
+  EXPECT_TRUE(std::isinf(map.escape_distance(0, {2000, 2000})));
+}
+
+// ---------------------------------------------------------------------------
+// ParallelTickExecutor
+// ---------------------------------------------------------------------------
+
+TEST(ParallelTickExecutorTest, RunsEveryTaskExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ParallelTickExecutor executor(threads);
+    std::vector<int> hits(64, 0);
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      tasks.push_back([&hits, i] { ++hits[i]; });
+    }
+    executor.run(tasks);
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+              static_cast<int>(hits.size()));
+  }
+}
+
+TEST(ParallelTickExecutorTest, ReusableAcrossBatches) {
+  ParallelTickExecutor executor(2);
+  int total = 0;
+  std::mutex m;
+  for (int batch = 0; batch < 50; ++batch) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 8; ++i) {
+      tasks.push_back([&] {
+        std::lock_guard lock(m);
+        ++total;
+      });
+    }
+    executor.run(tasks);
+  }
+  EXPECT_EQ(total, 50 * 8);
+}
+
+TEST(ParallelTickExecutorTest, RethrowsTaskException) {
+  for (const std::size_t threads : {1u, 3u}) {
+    ParallelTickExecutor executor(threads);
+    std::vector<std::function<void()>> tasks;
+    tasks.push_back([] {});
+    tasks.push_back([] { throw std::runtime_error("boom"); });
+    tasks.push_back([] {});
+    EXPECT_THROW(executor.run(tasks), std::runtime_error);
+    // The pool survives a throwing batch.
+    std::vector<std::function<void()>> ok{[] {}, [] {}};
+    executor.run(ok);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedServer on a hand-built world
+// ---------------------------------------------------------------------------
+
+alarms::SpatialAlarm public_alarm(alarms::AlarmId id, const Rect& region) {
+  alarms::SpatialAlarm a;
+  a.id = id;
+  a.scope = alarms::AlarmScope::kPublic;
+  a.region = region;
+  a.message = "alert";
+  return a;
+}
+
+/// 4 km x 4 km, 4x4 grid, two shards split at x = 2000. Alarm 0 straddles
+/// the boundary; alarm 1 lives wholly in shard 1.
+struct TwoShardWorld {
+  TwoShardWorld() {
+    store.install(public_alarm(0, Rect(1800, 1000, 2200, 1400)));
+    store.install(public_alarm(1, Rect(3000, 3000, 3300, 3300)));
+    server = std::make_unique<ShardedServer>(store, grid, 2, 8);
+  }
+
+  grid::GridOverlay grid{Rect(0, 0, 4000, 4000), 4, 4};
+  alarms::AlarmStore store;
+  std::unique_ptr<ShardedServer> server;
+};
+
+TEST(ShardedServerTest, BorderAlarmIsReplicatedToBothShards) {
+  TwoShardWorld w;
+  ASSERT_EQ(w.server->shard_count(), 2u);
+  EXPECT_TRUE(w.server->shard_store(0).installed(0));
+  EXPECT_TRUE(w.server->shard_store(1).installed(0));
+  // The interior alarm lives only in its owning shard.
+  EXPECT_FALSE(w.server->shard_store(0).installed(1));
+  EXPECT_TRUE(w.server->shard_store(1).installed(1));
+}
+
+TEST(ShardedServerTest, HandoffTransfersSpentStateAcrossTheBoundary) {
+  TwoShardWorld w;
+  // Fire the border alarm from the shard-0 side.
+  w.server->set_active_shard(0);
+  const auto fired = w.server->handle_position_update(7, {1900, 1200}, 1);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 0u);
+
+  // Cross into shard 1 and report from inside the same (replicated) alarm:
+  // the handoff must have marked it spent, so it must NOT fire again.
+  w.server->set_active_shard(1);
+  const auto refired = w.server->handle_position_update(7, {2100, 1200}, 2);
+  EXPECT_TRUE(refired.empty());
+  EXPECT_TRUE(w.server->shard_store(1).spent(0, 7));
+
+  // The handoff is an explicit, charged inter-shard message on the
+  // receiving shard, sized by the real wire format.
+  EXPECT_EQ(w.server->shard_metrics(1).handoff_messages, 1u);
+  EXPECT_EQ(w.server->shard_metrics(1).handoff_bytes,
+            wire::handoff_message_size(1));
+  EXPECT_EQ(w.server->shard_metrics(0).handoff_messages, 0u);
+
+  // Moving back is another handoff; alarm 0 stays spent in shard 0.
+  w.server->set_active_shard(0);
+  EXPECT_TRUE(w.server->handle_position_update(7, {1900, 1200}, 3).empty());
+  EXPECT_EQ(w.server->shard_metrics(0).handoff_messages, 1u);
+}
+
+TEST(ShardedServerTest, FirstContactIsPlacementNotHandoff) {
+  TwoShardWorld w;
+  w.server->set_active_shard(1);
+  (void)w.server->handle_position_update(3, {3500, 500}, 1);
+  EXPECT_EQ(w.server->merged_metrics().handoff_messages, 0u);
+}
+
+TEST(ShardedServerTest, SafePeriodGrantIsCappedByEscapeDistance) {
+  TwoShardWorld w;
+  // Subscriber deep in shard 0 with alarm 0 spent for them: the shard-0
+  // slice holds no relevant alarm, but alarm 1 (unknown to shard 0) is
+  // still live 3 km away — an unclamped grant would be infinite and miss
+  // it. The clamp caps the granted travel distance at the escape distance.
+  w.server->set_active_shard(0);
+  (void)w.server->handle_position_update(5, {1900, 1200}, 1);  // spends 0
+  const double period =
+      w.server->compute_safe_period(5, {400, 1200}, 20.0, 1.0);
+  EXPECT_TRUE(std::isfinite(period));
+  EXPECT_LE(period, (2000.0 - 400.0) / 20.0);
+}
+
+TEST(ShardedServerTest, MergedMetricsUseStableShardOrder) {
+  TwoShardWorld w;
+  w.server->set_active_shard(0);
+  (void)w.server->handle_position_update(1, {500, 500}, 1);
+  w.server->set_active_shard(1);
+  (void)w.server->handle_position_update(2, {3500, 500}, 1);
+  const sim::Metrics merged = w.server->merged_metrics();
+  EXPECT_EQ(merged.uplink_messages,
+            w.server->shard_metrics(0).uplink_messages +
+                w.server->shard_metrics(1).uplink_messages);
+  EXPECT_EQ(merged.uplink_messages, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded run mode: exactness against the monolithic server
+// ---------------------------------------------------------------------------
+
+core::ExperimentConfig cluster_config() {
+  core::ExperimentConfig cfg;
+  cfg.universe_km = 8.0;
+  cfg.vehicles = 100;
+  cfg.minutes = 3.0;
+  cfg.alarm_count = 640;
+  cfg.public_percent = 10.0;
+  cfg.grid_cell_sqkm = 2.5;
+  cfg.seed = 11;
+  return cfg;
+}
+
+void expect_perfect(const sim::RunResult& r) {
+  EXPECT_EQ(r.accuracy.missed, 0u) << r.strategy;
+  EXPECT_EQ(r.accuracy.spurious, 0u) << r.strategy;
+  EXPECT_EQ(r.accuracy.late, 0u) << r.strategy;
+  EXPECT_GT(r.accuracy.expected, 0u) << "workload produced no triggers";
+}
+
+class ShardedAccuracyTest : public ::testing::Test {
+ protected:
+  ShardedAccuracyTest() : experiment_(cluster_config()) {}
+
+  sim::RunResult run_sharded(const sim::Simulation::StrategyFactory& f) {
+    return experiment_.simulation().run_sharded(f, {.shards = 4});
+  }
+
+  core::Experiment experiment_;
+};
+
+TEST_F(ShardedAccuracyTest, PeriodicIsPerfect) {
+  expect_perfect(run_sharded(experiment_.periodic()));
+}
+
+TEST_F(ShardedAccuracyTest, SafePeriodIsPerfect) {
+  expect_perfect(run_sharded(experiment_.safe_period()));
+}
+
+TEST_F(ShardedAccuracyTest, WeightedRectIsPerfect) {
+  expect_perfect(run_sharded(experiment_.rect(saferegion::MotionModel(1.0, 32))));
+}
+
+TEST_F(ShardedAccuracyTest, PbsrIsPerfect) {
+  saferegion::PyramidConfig cfg;
+  cfg.height = 5;
+  expect_perfect(run_sharded(experiment_.bitmap(cfg)));
+}
+
+TEST_F(ShardedAccuracyTest, CachedPbsrIsPerfect) {
+  saferegion::PyramidConfig cfg;
+  cfg.height = 5;
+  expect_perfect(run_sharded(experiment_.bitmap_cached(cfg)));
+}
+
+TEST_F(ShardedAccuracyTest, OptimalIsPerfect) {
+  expect_perfect(run_sharded(experiment_.optimal()));
+}
+
+/// Client-visible metrics must be *identical* to the monolithic run for
+/// the strategies whose protocol is untouched by sharding (PRD, MWPSR,
+/// PBSR, OPT): safe regions are computed within one grid cell, cells never
+/// span shards, and every alarm intersecting a cell is replicated into its
+/// shard. (SP is exempt — its grants are additionally escape-clamped; the
+/// server_*_ops counters are exempt — per-shard R*-trees have different
+/// shapes.)
+class ShardedEqualityTest
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  ShardedEqualityTest() : experiment_(cluster_config()) {}
+
+  sim::Simulation::StrategyFactory factory() {
+    const std::string which = GetParam();
+    if (which == "prd") return experiment_.periodic();
+    if (which == "mwpsr") {
+      return experiment_.rect(saferegion::MotionModel(1.0, 32));
+    }
+    if (which == "pbsr") {
+      saferegion::PyramidConfig cfg;
+      cfg.height = 5;
+      return experiment_.bitmap(cfg);
+    }
+    return experiment_.optimal();
+  }
+
+  core::Experiment experiment_;
+};
+
+TEST_P(ShardedEqualityTest, ClientVisibleMetricsMatchMonolithic) {
+  const auto f = factory();
+  const auto mono = experiment_.simulation().run(f);
+  const auto sharded = experiment_.simulation().run_sharded(f, {.shards = 4});
+  expect_perfect(mono);
+  expect_perfect(sharded);
+
+  EXPECT_EQ(sharded.trigger_log, mono.trigger_log);
+  const sim::Metrics& a = mono.metrics;
+  const sim::Metrics& b = sharded.metrics;
+  EXPECT_EQ(b.uplink_messages, a.uplink_messages);
+  EXPECT_EQ(b.uplink_bytes, a.uplink_bytes);
+  EXPECT_EQ(b.downstream_region_bytes, a.downstream_region_bytes);
+  EXPECT_EQ(b.downstream_notice_bytes, a.downstream_notice_bytes);
+  EXPECT_EQ(b.client_checks, a.client_checks);
+  EXPECT_EQ(b.client_check_ops, a.client_check_ops);
+  EXPECT_EQ(b.safe_region_recomputes, a.safe_region_recomputes);
+  EXPECT_EQ(b.triggers, a.triggers);
+  EXPECT_EQ(b.region_payload_bytes.count(), a.region_payload_bytes.count());
+  EXPECT_EQ(b.region_payload_bytes.sum(), a.region_payload_bytes.sum());
+  EXPECT_EQ(b.region_payload_bytes.min(), a.region_payload_bytes.min());
+  EXPECT_EQ(b.region_payload_bytes.max(), a.region_payload_bytes.max());
+  // The monolithic run never pays inter-shard traffic.
+  EXPECT_EQ(a.handoff_messages, 0u);
+  EXPECT_EQ(a.handoff_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, ShardedEqualityTest,
+                         ::testing::Values("prd", "mwpsr", "pbsr", "opt"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(ShardedSingleShardTest, SafePeriodDegeneratesToMonolithic) {
+  // With one shard the escape distance is infinite, so SP's grants — and
+  // therefore every metric — match the monolithic run exactly.
+  core::Experiment experiment(cluster_config());
+  const auto f = experiment.safe_period();
+  const auto mono = experiment.simulation().run(f);
+  const auto sharded = experiment.simulation().run_sharded(f, {.shards = 1});
+  EXPECT_EQ(sharded.trigger_log, mono.trigger_log);
+  EXPECT_EQ(sharded.metrics.uplink_messages, mono.metrics.uplink_messages);
+  EXPECT_EQ(sharded.metrics.safe_region_recomputes,
+            mono.metrics.safe_region_recomputes);
+  EXPECT_EQ(sharded.metrics.handoff_messages, 0u);
+}
+
+TEST(ShardedHandoffTest, CrossingsProduceHandoffTraffic) {
+  core::Experiment experiment(cluster_config());
+  const auto run = experiment.simulation().run_sharded(
+      experiment.periodic(), {.shards = 4});
+  // Vehicles roam an 8 km universe split into 4 stripes for 3 minutes;
+  // some must cross a boundary.
+  EXPECT_GT(run.metrics.handoff_messages, 0u);
+  EXPECT_GT(run.metrics.handoff_bytes, 0u);
+  EXPECT_GE(run.metrics.handoff_bytes,
+            run.metrics.handoff_messages * wire::handoff_message_size(0));
+}
+
+}  // namespace
+}  // namespace salarm::cluster

@@ -1,4 +1,6 @@
 #include <cmath>
+#include <cstdint>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -68,6 +70,53 @@ TEST(RunningStatTest, MergeWithEmptyIsIdentity) {
   EXPECT_EQ(b.count(), 2u);
   EXPECT_DOUBLE_EQ(b.mean(), 1.5);
 }
+
+// Property sweep backing the cluster tier's metrics merge: a sequence
+// split into shards at arbitrary points and Welford-merged shard by shard
+// must agree with the single-pass accumulator, including uneven and empty
+// parts. Each parameter is a different (seed, shard count) draw.
+class RunningStatMergeProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(RunningStatMergeProperty, SplitMergeMatchesSinglePass) {
+  const auto [seed, parts] = GetParam();
+  Rng rng(seed);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(0, 2000));
+
+  // Random split points — parts of wildly different sizes, possibly empty.
+  std::vector<std::size_t> owner(n);
+  for (auto& o : owner) o = rng.index(parts);
+
+  RunningStat whole;
+  std::vector<RunningStat> shards(parts);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mix magnitudes so a numerically sloppy merge would show up.
+    const double x = rng.uniform(-1e6, 1e6) + rng.uniform(-1.0, 1.0);
+    whole.add(x);
+    shards[owner[i]].add(x);
+  }
+
+  RunningStat merged;
+  for (const RunningStat& shard : shards) merged.merge(shard);
+
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  EXPECT_NEAR(merged.sum(), whole.sum(), 1e-6 * (1.0 + std::abs(whole.sum())));
+  EXPECT_NEAR(merged.mean(), whole.mean(),
+              1e-9 * (1.0 + std::abs(whole.mean())));
+  EXPECT_NEAR(merged.variance(), whole.variance(),
+              1e-9 * (1.0 + whole.variance()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSplits, RunningStatMergeProperty,
+    ::testing::Combine(::testing::Values(std::uint64_t{1}, std::uint64_t{7},
+                                         std::uint64_t{42}, std::uint64_t{1234},
+                                         std::uint64_t{99999}),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{5}, std::size_t{16})));
 
 TEST(HistogramTest, BinBoundaries) {
   Histogram h(0.0, 10.0, 5);

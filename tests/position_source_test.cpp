@@ -141,7 +141,7 @@ TEST(RecordedTraceSourceTest, DrivesAFullSimulation) {
   grid::GridOverlay grid(universe, 4, 4);
 
   sim::Simulation simulation(source, store, grid, trace.tick_count());
-  const auto run = simulation.run([&](sim::Server& server) {
+  const auto run = simulation.run([&](sim::ServerApi& server) {
     return std::make_unique<strategies::RectRegionStrategy>(
         server, 50, saferegion::MotionModel(1.0, 32));
   });

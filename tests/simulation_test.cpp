@@ -2,7 +2,9 @@
 // trigger sequence exactly (the paper's 100% accuracy requirement) on a
 // real workload, and the comparative metric orderings the paper reports
 // must hold.
+#include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -261,6 +263,72 @@ TEST(StrategyTrendTest, MorePublicAlarmsMeansMoreWork) {
   EXPECT_LT(low_run.metrics.uplink_messages,
             high_run.metrics.uplink_messages);
   EXPECT_LT(low_run.metrics.triggers, high_run.metrics.triggers);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster determinism: a sharded run is bit-identical for any thread count.
+// The fan-out groups subscribers by owning shard in stable order and merges
+// per-shard results in stable shard order, so nothing — not even the
+// floating-point payload statistics — may depend on scheduling.
+// ---------------------------------------------------------------------------
+
+void expect_bit_identical(const sim::RunResult& a, const sim::RunResult& b) {
+  EXPECT_EQ(b.trigger_log, a.trigger_log);
+  const sim::Metrics& m = a.metrics;
+  const sim::Metrics& n = b.metrics;
+  EXPECT_EQ(n.uplink_messages, m.uplink_messages);
+  EXPECT_EQ(n.uplink_bytes, m.uplink_bytes);
+  EXPECT_EQ(n.downstream_region_bytes, m.downstream_region_bytes);
+  EXPECT_EQ(n.downstream_notice_bytes, m.downstream_notice_bytes);
+  EXPECT_EQ(n.client_checks, m.client_checks);
+  EXPECT_EQ(n.client_check_ops, m.client_check_ops);
+  EXPECT_EQ(n.server_alarm_ops, m.server_alarm_ops);
+  EXPECT_EQ(n.server_region_ops, m.server_region_ops);
+  EXPECT_EQ(n.handoff_messages, m.handoff_messages);
+  EXPECT_EQ(n.handoff_bytes, m.handoff_bytes);
+  EXPECT_EQ(n.safe_region_recomputes, m.safe_region_recomputes);
+  EXPECT_EQ(n.triggers, m.triggers);
+  EXPECT_EQ(n.region_payload_bytes.count(), m.region_payload_bytes.count());
+  EXPECT_EQ(n.region_payload_bytes.sum(), m.region_payload_bytes.sum());
+  EXPECT_EQ(n.region_payload_bytes.mean(), m.region_payload_bytes.mean());
+  EXPECT_EQ(n.region_payload_bytes.variance(),
+            m.region_payload_bytes.variance());
+  EXPECT_EQ(n.region_payload_bytes.min(), m.region_payload_bytes.min());
+  EXPECT_EQ(n.region_payload_bytes.max(), m.region_payload_bytes.max());
+}
+
+class ShardedDeterminismTest : public ::testing::Test {
+ protected:
+  ShardedDeterminismTest() : experiment_(small_config()) {}
+
+  void check(const sim::Simulation::StrategyFactory& factory) {
+    const auto ref = experiment_.simulation().run_sharded(
+        factory, {.shards = 4, .threads = 1});
+    expect_perfect(ref);
+    const std::size_t hw = std::max<std::size_t>(
+        2, std::thread::hardware_concurrency());
+    for (const std::size_t threads : {std::size_t{2}, hw}) {
+      expect_bit_identical(ref, experiment_.simulation().run_sharded(
+                                    factory, {.shards = 4,
+                                              .threads = threads}));
+    }
+  }
+
+  core::Experiment experiment_;
+};
+
+TEST_F(ShardedDeterminismTest, MwpsrBitIdenticalAcrossThreadCounts) {
+  check(experiment_.rect(saferegion::MotionModel(1.0, 32)));
+}
+
+TEST_F(ShardedDeterminismTest, SafePeriodBitIdenticalAcrossThreadCounts) {
+  check(experiment_.safe_period());
+}
+
+TEST_F(ShardedDeterminismTest, PbsrBitIdenticalAcrossThreadCounts) {
+  saferegion::PyramidConfig pyramid;
+  pyramid.height = 5;
+  check(experiment_.bitmap(pyramid));
 }
 
 }  // namespace
