@@ -19,29 +19,40 @@ int main() {
 
   core::Experiment experiment(cfg);
   const saferegion::MotionModel model(1.0, 32);
-  saferegion::PyramidConfig pyramid;
-  pyramid.height = 5;
+  saferegion::PyramidConfig gbsr;
+  gbsr.height = 1;  // GBSR is the height-1 pyramid
+  saferegion::PyramidConfig pbsr;
+  pbsr.height = 5;
 
-  std::printf("%-10s %16s %10s %16s %10s\n", "loss", "MWPSR msgs", "missed",
-              "PBSR msgs", "missed");
+  std::printf("%-10s %16s %10s %16s %10s %16s %10s\n", "loss", "MWPSR msgs",
+              "missed", "GBSR msgs", "missed", "PBSR msgs", "missed");
   for (const double loss : {0.0, 0.05, 0.2, 0.5}) {
     const auto rect =
         loss == 0.0
             ? experiment.simulation().run(experiment.rect(model))
             : experiment.simulation().run(
                   experiment.rect_with_loss(model, loss));
+    const auto grid_bitmap =
+        loss == 0.0
+            ? experiment.simulation().run(experiment.bitmap(gbsr))
+            : experiment.simulation().run(
+                  experiment.bitmap_with_loss(gbsr, loss));
     const auto bitmap =
         loss == 0.0
-            ? experiment.simulation().run(experiment.bitmap(pyramid))
+            ? experiment.simulation().run(experiment.bitmap(pbsr))
             : experiment.simulation().run(
-                  experiment.bitmap_with_loss(pyramid, loss));
+                  experiment.bitmap_with_loss(pbsr, loss));
     bench::require_perfect(rect);
+    bench::require_perfect(grid_bitmap);
     bench::require_perfect(bitmap);
-    std::printf("%-10.0f%% %15s %10zu %16s %10zu\n", loss * 100,
-                bench::with_commas(rect.metrics.uplink_messages).c_str(),
-                rect.accuracy.missed,
-                bench::with_commas(bitmap.metrics.uplink_messages).c_str(),
-                bitmap.accuracy.missed);
+    std::printf(
+        "%-10.0f%% %15s %10zu %16s %10zu %16s %10zu\n", loss * 100,
+        bench::with_commas(rect.metrics.uplink_messages).c_str(),
+        rect.accuracy.missed,
+        bench::with_commas(grid_bitmap.metrics.uplink_messages).c_str(),
+        grid_bitmap.accuracy.missed,
+        bench::with_commas(bitmap.metrics.uplink_messages).c_str(),
+        bitmap.accuracy.missed);
   }
   std::printf("\naccuracy survives any loss rate; lost responses are paid "
               "for in repeat reports.\n");

@@ -56,8 +56,23 @@ bool AlarmStore::uninstall(AlarmId id) {
   if (slot == kNoSlot) return false;
   const bool erased = tree_.erase({alarms_[slot].region, id});
   SALARM_ASSERT(erased, "installed alarm missing from index");
+  // Swap-and-pop so all() never reports uninstalled alarms (the cluster
+  // tier builds shard slices from all(), and install_bulk requires a truly
+  // empty store).
+  if (slot != alarms_.size() - 1) {
+    alarms_[slot] = std::move(alarms_.back());
+    slot_of_[alarms_[slot].id] = slot;
+  }
+  alarms_.pop_back();
   slot_of_[id] = kNoSlot;
   return true;
+}
+
+void AlarmStore::clear() {
+  alarms_.clear();
+  slot_of_.clear();
+  spent_.clear();
+  tree_ = index::RStarTree(rtree_node_capacity_);
 }
 
 void AlarmStore::move_alarm(AlarmId id, const geo::Rect& new_region) {

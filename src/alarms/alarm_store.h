@@ -59,8 +59,14 @@ class AlarmStore {
   /// Only valid on an empty store.
   void install_bulk(std::vector<SpatialAlarm> alarms);
 
-  /// Uninstalls an alarm; returns false if absent.
+  /// Uninstalls an alarm; returns false if absent. The remaining alarms
+  /// keep their ids but may change slot order (swap-and-pop), so all()
+  /// reflects exactly the installed set.
   bool uninstall(AlarmId id);
+
+  /// Removes every alarm and all trigger state, leaving an empty store
+  /// ready for install_bulk — the rewind path between churn runs.
+  void clear();
 
   /// Moves an alarm's region (the paper's moving-target alarm classes:
   /// the target publishes a new position, the alarm region follows).

@@ -1,6 +1,7 @@
 #include "cluster/sharded_server.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/error.h"
 #include "saferegion/wire_format.h"
@@ -124,6 +125,42 @@ double ShardedServer::compute_safe_period(alarms::SubscriberId s,
 std::vector<const alarms::SpatialAlarm*> ShardedServer::push_alarms(
     alarms::SubscriberId s, geo::Point position) {
   return contact(s, position).server.push_alarms(s, position);
+}
+
+std::vector<dynamics::InvalidationPush> ShardedServer::take_invalidations(
+    alarms::SubscriberId s) {
+  std::vector<dynamics::InvalidationPush> out;
+  for (auto& shard : shards_) {
+    auto pushes = shard->server.take_invalidations(s);
+    out.insert(out.end(), std::make_move_iterator(pushes.begin()),
+               std::make_move_iterator(pushes.end()));
+  }
+  return out;
+}
+
+void ShardedServer::enable_dynamics(std::size_t subscriber_count) {
+  for (auto& shard : shards_) shard->server.enable_dynamics(subscriber_count);
+}
+
+void ShardedServer::install_alarm(const alarms::SpatialAlarm& alarm) {
+  // Same replication rule as the initial slices: every shard whose extent
+  // (closed) intersects the region gets a replica. A grant never outgrows
+  // its shard's extent, so the install reaches every shard that could hold
+  // an affected grant; the per-shard invalidation queries run in stable
+  // shard order, keeping sharded churn bit-identical at any thread count.
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (alarm.region.intersects(map_.shard_extent(i))) {
+      shards_[i]->server.install_alarm(alarm);
+    }
+  }
+}
+
+bool ShardedServer::remove_alarm(alarms::AlarmId id) {
+  bool any = false;
+  for (auto& shard : shards_) {
+    if (shard->store.installed(id)) any |= shard->server.remove_alarm(id);
+  }
+  return any;
 }
 
 const alarms::AlarmStore& ShardedServer::shard_store(std::size_t shard) const {

@@ -75,10 +75,32 @@ class ShardedServer final : public sim::ServerApi {
                              double tick_seconds) override;
   std::vector<const alarms::SpatialAlarm*> push_alarms(
       alarms::SubscriberId s, geo::Point position) override;
+  /// Drains the subscriber's mailboxes across all shards in stable shard
+  /// order. A subscriber's grant always lives in the shard it last
+  /// contacted (grants never outgrow a shard's extent), but stale entries
+  /// in previously-visited shards may add extra — harmless and
+  /// deterministic — pushes. Safe on the parallel path: each subscriber is
+  /// processed by exactly one thread per tick, mailboxes are pre-sized by
+  /// enable_dynamics, and installs only run in the serial churn phase.
+  std::vector<dynamics::InvalidationPush> take_invalidations(
+      alarms::SubscriberId s) override;
   const grid::GridOverlay& grid() const override { return grid_; }
   /// Metrics of the calling thread's active shard: client-side work is
   /// charged to the shard hosting the subscriber this tick.
   sim::Metrics& metrics() override;
+
+  // ---- Dynamics tier (DESIGN.md §8; all three are serial-phase only) ----
+  /// Enables dynamics on every shard, pre-sizing all mailboxes so no
+  /// allocation can race with the parallel tick path.
+  void enable_dynamics(std::size_t subscriber_count);
+  /// Installs the alarm into every shard whose extent (closed) intersects
+  /// its region — the same replication rule as the initial slices — and
+  /// lets each such shard invalidate its own outstanding grants. Must be
+  /// called between ticks (serial churn phase).
+  void install_alarm(const alarms::SpatialAlarm& alarm);
+  /// Removes the alarm from every shard holding a replica. Serial-phase
+  /// only. Returns true if any replica existed.
+  bool remove_alarm(alarms::AlarmId id);
 
   // ---- Cluster control / inspection ----
   /// Declares which shard the calling thread is processing; every

@@ -85,6 +85,22 @@ double Experiment::max_speed_bound() const {
   return trace_config(config_).max_speed_bound(network_.max_speed_mps());
 }
 
+dynamics::ChurnConfig Experiment::churn_config(
+    double installs_per_tick, double removes_per_tick) const {
+  dynamics::ChurnConfig churn;
+  churn.installs_per_tick = installs_per_tick;
+  churn.removes_per_tick = removes_per_tick;
+  churn.region_side_lo = config_.region_side_lo;
+  churn.region_side_hi = config_.region_side_hi;
+  churn.public_fraction = config_.public_percent / 100.0;
+  churn.subscriber_count = config_.vehicles;
+  return churn;
+}
+
+void Experiment::enable_churn(const dynamics::ChurnConfig& config) {
+  simulation_.set_churn(config, config_.seed * 32452843 + 4);
+}
+
 sim::Simulation::StrategyFactory Experiment::periodic() const {
   return [](sim::ServerApi& server) {
     return std::make_unique<strategies::PeriodicStrategy>(server);

@@ -21,6 +21,7 @@
 
 #include "alarms/alarm_store.h"
 #include "common/rng.h"
+#include "dynamics/churn.h"
 #include "grid/grid_overlay.h"
 #include "mobility/trace_generator.h"
 #include "roadnet/network_builder.h"
@@ -69,6 +70,14 @@ class Experiment {
 
   /// Hard bound on vehicle speed (feeds the SP baseline).
   double max_speed_bound() const;
+
+  /// Churn knobs matching this workload's alarm distributions (region
+  /// sizes, public share, subscriber id space); the caller sets the rates.
+  dynamics::ChurnConfig churn_config(double installs_per_tick,
+                                     double removes_per_tick) const;
+  /// Enables alarm churn on the simulation under the experiment's derived
+  /// churn seed (independent of the network/trace/alarm streams).
+  void enable_churn(const dynamics::ChurnConfig& config);
 
   // Strategy factories for Simulation::run. Each call builds a fresh
   // strategy instance bound to the run's server.

@@ -1,0 +1,43 @@
+#include "dynamics/session_index.h"
+
+#include "common/error.h"
+
+namespace salarm::dynamics {
+
+void SessionIndex::record(alarms::SubscriberId s, GrantKind kind,
+                          const geo::Rect& bounds) {
+  auto it = grants_.find(s);
+  if (it != grants_.end()) {
+    tree_.erase({it->second.bounds, s});
+    it->second = Grant{kind, bounds};
+  } else {
+    grants_.emplace(s, Grant{kind, bounds});
+  }
+  tree_.insert({bounds, s});
+}
+
+bool SessionIndex::clear(alarms::SubscriberId s) {
+  auto it = grants_.find(s);
+  if (it == grants_.end()) return false;
+  tree_.erase({it->second.bounds, s});
+  grants_.erase(it);
+  return true;
+}
+
+const SessionIndex::Grant* SessionIndex::lookup(alarms::SubscriberId s) const {
+  auto it = grants_.find(s);
+  return it == grants_.end() ? nullptr : &it->second;
+}
+
+void SessionIndex::visit_intersecting(
+    const geo::Rect& window,
+    const std::function<bool(alarms::SubscriberId, const Grant&)>& fn) const {
+  tree_.visit(window, [&](const index::Entry& entry) {
+    const auto s = static_cast<alarms::SubscriberId>(entry.id);
+    auto it = grants_.find(s);
+    SALARM_ASSERT(it != grants_.end(), "tree entry without grant");
+    return fn(s, it->second);
+  });
+}
+
+}  // namespace salarm::dynamics

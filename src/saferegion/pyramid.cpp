@@ -138,6 +138,39 @@ PyramidContainment PyramidBitmap::locate(geo::Point p) const {
   }
 }
 
+void PyramidBitmap::mark_unsafe(const geo::Rect& region) {
+  struct Item {
+    std::uint32_t node;
+    geo::Rect rect;
+  };
+  std::vector<Item> stack{{0, cell_}};
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    // Open intersection: an alarm merely touching a safe node's boundary
+    // cannot fire inside it (trigger semantics are open-interior).
+    if (!region.interiors_intersect(item.rect)) continue;
+    Node& node = nodes_[item.node];
+    if (node.state == State::kSafe) {
+      node.state = State::kSolidUnsafe;
+      continue;
+    }
+    if (node.state == State::kSolidUnsafe) continue;
+    const double w = item.rect.width() / config_.fanout_u;
+    const double h = item.rect.height() / config_.fanout_v;
+    for (int row = 0; row < config_.fanout_v; ++row) {
+      for (int col = 0; col < config_.fanout_u; ++col) {
+        const geo::Point lo{item.rect.lo().x + w * col,
+                            item.rect.lo().y + h * row};
+        stack.push_back(
+            {node.first_child +
+                 static_cast<std::uint32_t>(row) * config_.fanout_u + col,
+             geo::Rect(lo, {lo.x + w, lo.y + h})});
+      }
+    }
+  }
+}
+
 double PyramidBitmap::coverage() const {
   const double uv = static_cast<double>(config_.fanout_u) * config_.fanout_v;
   double covered = 0.0;

@@ -60,7 +60,8 @@ struct PyramidContainment {
   int levels = 0;
 };
 
-/// An immutable pyramid bitmap over one base grid cell.
+/// A pyramid bitmap over one base grid cell. Immutable except for
+/// mark_unsafe, the client-side shrink applied on an invalidation push.
 class PyramidBitmap {
  public:
   /// Classifies the cell against the given alarm regions. `ops`, when
@@ -73,6 +74,13 @@ class PyramidBitmap {
 
   /// Containment check for a position inside the base cell (precondition).
   PyramidContainment locate(geo::Point p) const;
+
+  /// Conservative in-place shrink (dynamics tier, DESIGN.md §8): every safe
+  /// node whose interior intersects `region` becomes solid-unsafe, so the
+  /// bitmap stays sound after an alarm is installed inside the cell. The
+  /// structure is never refined — at worst a whole safe node covering the
+  /// region goes unsafe, costing extra client reports but never accuracy.
+  void mark_unsafe(const geo::Rect& region);
 
   /// Fraction of the base cell's area marked safe — the paper's coverage
   /// measure η(Ψs).

@@ -256,6 +256,11 @@ AlarmPushMsg decode_alarm_push(std::span<const std::uint8_t> bytes) {
   AlarmPushMsg m;
   m.cell = read_rect(r);
   const std::uint32_t count = r.u32();
+  // Each item is at least 4 + 32 + 2 bytes; a count the remaining payload
+  // cannot possibly hold is corruption, and must be rejected *before* the
+  // reserve so a hostile count cannot drive a huge allocation.
+  SALARM_REQUIRE(count <= (bytes.size() - 1 - kRectBytes - 4) / 38,
+                 "alarm push count exceeds payload");
   m.alarms.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     AlarmPushMsg::Item item;
@@ -332,6 +337,42 @@ std::size_t encoded_size(const TriggerNoticeMsg& m) {
 
 std::size_t trigger_notice_size(std::size_t message_bytes) {
   return 1 + 4 + 2 + message_bytes;
+}
+
+// --------------------------------------------------------------------------
+// InvalidationMsg: type(1) action(1) alarm(4) rect(32) len(2) message
+//                  = 40+len bytes
+// --------------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const InvalidationMsg& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kInvalidation));
+  w.u8(m.action);
+  w.u32(m.alarm);
+  write_rect(w, m.region);
+  write_string(w, m.message);
+  return std::move(w).take();
+}
+
+InvalidationMsg decode_invalidation(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  check_type(r, MessageType::kInvalidation);
+  InvalidationMsg m;
+  m.action = r.u8();
+  SALARM_REQUIRE(m.action <= 2, "unknown invalidation action");
+  m.alarm = r.u32();
+  m.region = read_rect(r);
+  m.message = read_string(r);
+  r.expect_done();
+  return m;
+}
+
+std::size_t encoded_size(const InvalidationMsg& m) {
+  return invalidation_message_size(m.message.size());
+}
+
+std::size_t invalidation_message_size(std::size_t message_bytes) {
+  return 1 + 1 + 4 + kRectBytes + 2 + message_bytes;
 }
 
 // --------------------------------------------------------------------------

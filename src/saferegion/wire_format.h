@@ -32,6 +32,7 @@ enum class MessageType : std::uint8_t {
   kSafePeriod = 5,       ///< server -> client (SP baseline)
   kTriggerNotice = 6,    ///< server -> client (all strategies)
   kShardHandoff = 7,     ///< shard -> shard (cluster session transfer)
+  kInvalidation = 8,     ///< server -> client (grant invalidation push)
 };
 
 /// Client position report.
@@ -83,6 +84,18 @@ struct TriggerNoticeMsg {
   std::string message;
 };
 
+/// Grant-invalidation push (dynamics tier, DESIGN.md §8): tells a client
+/// that an alarm installed after its grant was issued may violate the
+/// grant. `action` selects revoke (rect / safe-period grants), shrink
+/// (pyramid grants; `region` is the unsafe mask) or alarm-add (client-side
+/// evaluation; `region` + `message` describe the new alarm).
+struct InvalidationMsg {
+  std::uint8_t action = 0;  ///< dynamics::InvalidationAction
+  alarms::AlarmId alarm = 0;
+  geo::Rect region{geo::Point{}, geo::Point{}};
+  std::string message;  ///< alarm content; alarm-add pushes only
+};
+
 // Encoders return the full message bytes (type byte included); decoders
 // check the type byte and throw PreconditionError on malformed input.
 std::vector<std::uint8_t> encode(const PositionUpdate& m);
@@ -91,6 +104,7 @@ std::vector<std::uint8_t> encode(const PyramidSafeRegionMsg& m);
 std::vector<std::uint8_t> encode(const AlarmPushMsg& m);
 std::vector<std::uint8_t> encode(const SafePeriodMsg& m);
 std::vector<std::uint8_t> encode(const TriggerNoticeMsg& m);
+std::vector<std::uint8_t> encode(const InvalidationMsg& m);
 
 PositionUpdate decode_position_update(std::span<const std::uint8_t> bytes);
 RectSafeRegionMsg decode_rect_safe_region(std::span<const std::uint8_t> bytes);
@@ -99,6 +113,7 @@ PyramidSafeRegionMsg decode_pyramid_safe_region(
 AlarmPushMsg decode_alarm_push(std::span<const std::uint8_t> bytes);
 SafePeriodMsg decode_safe_period(std::span<const std::uint8_t> bytes);
 TriggerNoticeMsg decode_trigger_notice(std::span<const std::uint8_t> bytes);
+InvalidationMsg decode_invalidation(std::span<const std::uint8_t> bytes);
 
 /// Exact encoded sizes, for the accounting paths that do not materialize
 /// bytes (hot simulation loops).
@@ -108,6 +123,7 @@ std::size_t encoded_size(const PyramidSafeRegionMsg& m);
 std::size_t encoded_size(const AlarmPushMsg& m);
 std::size_t encoded_size(const SafePeriodMsg& m);
 std::size_t encoded_size(const TriggerNoticeMsg& m);
+std::size_t encoded_size(const InvalidationMsg& m);
 
 /// Size of a pyramid safe-region message for a bitmap of the given bit
 /// count, without building the message.
@@ -123,6 +139,10 @@ std::size_t trigger_notice_size(std::size_t message_bytes);
 
 /// Size of a rectangular safe-region message (constant).
 std::size_t rect_message_size();
+
+/// Size of an invalidation push for an alarm message of the given length
+/// (zero for revoke/shrink pushes, which carry no alert content).
+std::size_t invalidation_message_size(std::size_t message_bytes);
 
 /// Size of an inter-shard session handoff carrying the subscriber id, its
 /// last position/time and the ids of `spent_alarms` already-fired alarms

@@ -39,12 +39,21 @@ struct CostModel {
     return check_mwh_per_op * static_cast<double>(m.client_check_ops);
   }
 
-  /// Client radio energy (transmissions + received safe-region payloads),
-  /// reported alongside but not part of the paper's figures.
+  /// Client radio energy (transmissions + received safe-region payloads +
+  /// invalidation pushes), reported alongside but not part of the paper's
+  /// figures.
   double client_radio_mwh(const Metrics& m) const {
     return tx_mwh_per_message * static_cast<double>(m.uplink_messages) +
            rx_mwh_per_byte * static_cast<double>(m.downstream_region_bytes +
-                                                 m.downstream_notice_bytes);
+                                                 m.downstream_notice_bytes +
+                                                 m.invalidation_bytes);
+  }
+
+  /// Downstream bandwidth of the invalidation protocol alone, in Mbps —
+  /// the dynamics tier's push overhead (bench/dyn_churn).
+  double invalidation_mbps(const Metrics& m, double duration_s) const {
+    return static_cast<double>(m.invalidation_bytes) * 8.0 /
+           (duration_s * 1e6);
   }
 
   /// Downstream safe-region bandwidth in Mbps over the simulated duration

@@ -15,6 +15,10 @@ void Metrics::merge(const Metrics& other) {
   server_region_ops += other.server_region_ops;
   handoff_messages += other.handoff_messages;
   handoff_bytes += other.handoff_bytes;
+  alarms_installed += other.alarms_installed;
+  alarms_removed += other.alarms_removed;
+  invalidation_pushes += other.invalidation_pushes;
+  invalidation_bytes += other.invalidation_bytes;
   safe_region_recomputes += other.safe_region_recomputes;
   triggers += other.triggers;
   region_payload_bytes.merge(other.region_payload_bytes);
@@ -30,6 +34,10 @@ std::string Metrics::to_string() const {
      << " server_region_ops=" << server_region_ops
      << " handoff_messages=" << handoff_messages
      << " handoff_bytes=" << handoff_bytes
+     << " alarms_installed=" << alarms_installed
+     << " alarms_removed=" << alarms_removed
+     << " invalidation_pushes=" << invalidation_pushes
+     << " invalidation_bytes=" << invalidation_bytes
      << " recomputes=" << safe_region_recomputes
      << " triggers=" << triggers;
   return os.str();

@@ -51,6 +51,17 @@ struct Metrics {
   std::uint64_t handoff_messages = 0;
   std::uint64_t handoff_bytes = 0;
 
+  // ---- Dynamics tier (alarm churn; zero on static runs) ----
+  /// Online alarm installs / removals (random removals + TTL expiries)
+  /// applied during the run.
+  std::uint64_t alarms_installed = 0;
+  std::uint64_t alarms_removed = 0;
+  /// Server-push grant invalidations (DESIGN.md §8): revoke, shrink and
+  /// alarm-add pushes sent when an install intersects outstanding grants,
+  /// and their wire bytes (priced like downstream region traffic).
+  std::uint64_t invalidation_pushes = 0;
+  std::uint64_t invalidation_bytes = 0;
+
   // ---- Outcomes ----
   std::uint64_t safe_region_recomputes = 0;
   std::uint64_t triggers = 0;

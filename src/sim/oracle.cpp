@@ -8,11 +8,22 @@ namespace salarm::sim {
 std::vector<alarms::TriggerEvent> ground_truth_triggers(
     mobility::PositionSource& source, alarms::AlarmStore& store,
     std::size_t ticks) {
+  return ground_truth_triggers(source, store, ticks, {});
+}
+
+std::vector<alarms::TriggerEvent> ground_truth_triggers(
+    mobility::PositionSource& source, alarms::AlarmStore& store,
+    std::size_t ticks,
+    const std::function<void(std::size_t, alarms::AlarmStore&)>&
+        apply_churn) {
   store.reset_triggers();
   source.reset();
   std::vector<alarms::TriggerEvent> events;
   for (std::size_t t = 0; t < ticks; ++t) {
-    if (t > 0) source.step();
+    if (t > 0) {
+      source.step();
+      if (apply_churn) apply_churn(t, store);
+    }
     const auto& samples = source.samples();
     for (mobility::VehicleId v = 0; v < samples.size(); ++v) {
       (void)store.process_position(v, samples[v].pos, t, &events);

@@ -8,6 +8,8 @@
 // (100% accuracy requirement).
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "alarms/alarm_store.h"
@@ -22,6 +24,19 @@ namespace salarm::sim {
 std::vector<alarms::TriggerEvent> ground_truth_triggers(
     mobility::PositionSource& source, alarms::AlarmStore& store,
     std::size_t ticks);
+
+/// As above, but over a time-varying alarm set: `apply_churn(t, store)` is
+/// invoked once per tick t >= 1, after the motion step and before the
+/// positions of tick t are evaluated — the same ordering the live server
+/// uses (churn is applied in the serial phase ahead of subscriber
+/// processing), so an alarm installed on top of a subscriber fires that
+/// very tick and a removed alarm can no longer fire. The store is left in
+/// its end-of-trace state; callers that need the initial set back must
+/// rewind it themselves.
+std::vector<alarms::TriggerEvent> ground_truth_triggers(
+    mobility::PositionSource& source, alarms::AlarmStore& store,
+    std::size_t ticks,
+    const std::function<void(std::size_t, alarms::AlarmStore&)>& apply_churn);
 
 /// Compares a strategy's trigger log with the oracle's: both are sorted
 /// and must match exactly (same (alarm, subscriber, tick) events).

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "common/error.h"
 
@@ -58,6 +59,7 @@ saferegion::RectSafeRegion Server::compute_rect_region(
   const std::size_t bytes = wire::rect_message_size();
   metrics_.downstream_region_bytes += bytes;
   metrics_.region_payload_bytes.add(static_cast<double>(bytes));
+  record_grant(s, dynamics::GrantKind::kRect, region.rect);
   return region;
 }
 
@@ -75,6 +77,7 @@ saferegion::RectSafeRegion Server::compute_corner_baseline_region(
   const std::size_t bytes = wire::rect_message_size();
   metrics_.downstream_region_bytes += bytes;
   metrics_.region_payload_bytes.add(static_cast<double>(bytes));
+  record_grant(s, dynamics::GrantKind::kRect, region.rect);
   return region;
 }
 
@@ -95,6 +98,9 @@ saferegion::PyramidBitmap Server::compute_pyramid_region(
     const std::size_t bytes = wire::pyramid_message_size(bitmap.bit_size());
     metrics_.downstream_region_bytes += bytes;
     metrics_.region_payload_bytes.add(static_cast<double>(bytes));
+    // The client holds a bitmap of the whole base cell, so the cell is the
+    // grant footprint: any install inside it must shrink the bitmap.
+    record_grant(s, dynamics::GrantKind::kPyramid, cell);
     return bitmap;
   };
 
@@ -176,10 +182,21 @@ double Server::compute_safe_period(alarms::SubscriberId s,
   });
   ++metrics_.safe_region_recomputes;
   const double distance = std::min(nearest, distance_bound);
-  if (std::isinf(distance)) return distance;  // no relevant alarms in reach
+  if (std::isinf(distance)) {
+    // No relevant alarm in reach: the client goes silent forever, so a
+    // later install *anywhere* relevant to it must revoke the grant.
+    record_grant(s, dynamics::GrantKind::kSafePeriod, grid_.universe());
+    return distance;
+  }
   const std::size_t bytes = wire::encoded_size(wire::SafePeriodMsg{});
   metrics_.downstream_region_bytes += bytes;
   metrics_.region_payload_bytes.add(static_cast<double>(bytes));
+  // Everywhere the client can reach before the period expires (worst-case
+  // straight-line travel at the speed bound) is the grant footprint.
+  record_grant(s, dynamics::GrantKind::kSafePeriod,
+               geo::Rect::centered_square(position, 2.0 * distance)
+                   .intersection(grid_.universe())
+                   .value_or(geo::Rect(position, position)));
   return std::max(distance / max_speed_mps, tick_seconds);
 }
 
@@ -198,7 +215,113 @@ std::vector<const alarms::SpatialAlarm*> Server::push_alarms(
       wire::alarm_push_size(relevant.size(), message_bytes);
   metrics_.downstream_region_bytes += bytes;
   metrics_.region_payload_bytes.add(static_cast<double>(bytes));
+  // The client evaluates this cell's alarm list locally until it leaves
+  // the cell: installs inside the cell must be push-appended to the list.
+  record_grant(s, dynamics::GrantKind::kAlarmList, cell);
   return relevant;
+}
+
+void Server::enable_dynamics(std::size_t subscriber_count) {
+  dynamics_enabled_ = true;
+  mailboxes_.assign(subscriber_count, {});
+}
+
+void Server::record_grant(alarms::SubscriberId s, dynamics::GrantKind kind,
+                          const geo::Rect& bounds) {
+  if (!dynamics_enabled_) return;
+  const std::uint64_t before = sessions_.node_accesses();
+  sessions_.record(s, kind, bounds);
+  metrics_.server_region_ops +=
+      (sessions_.node_accesses() - before) * kOpsPerNodeAccess;
+}
+
+void Server::push_invalidation(alarms::SubscriberId s,
+                               dynamics::GrantKind kind,
+                               const alarms::SpatialAlarm& alarm) {
+  dynamics::InvalidationPush push;
+  push.alarm = alarm.id;
+  push.region = alarm.region;
+  switch (kind) {
+    case dynamics::GrantKind::kPyramid:
+      push.action = dynamics::InvalidationAction::kShrink;
+      break;
+    case dynamics::GrantKind::kAlarmList:
+      push.action = dynamics::InvalidationAction::kAlarmAdd;
+      push.message = alarm.message;
+      break;
+    default:
+      push.action = dynamics::InvalidationAction::kRevoke;
+      break;
+  }
+  ++metrics_.invalidation_pushes;
+  metrics_.invalidation_bytes +=
+      wire::invalidation_message_size(push.message.size());
+  // A revoked grant is gone: the client re-contacts the server this tick
+  // and a fresh grant will be recorded then. Shrink / alarm-add grants
+  // keep their footprint (the cell) — later installs still need pushes.
+  if (push.action == dynamics::InvalidationAction::kRevoke) {
+    sessions_.clear(s);
+  }
+  if (s >= mailboxes_.size()) mailboxes_.resize(s + 1);
+  mailboxes_[s].push_back(std::move(push));
+}
+
+void Server::install_alarm(const alarms::SpatialAlarm& alarm) {
+  SALARM_REQUIRE(dynamics_enabled_, "dynamics tier not enabled");
+  charged(&Metrics::server_alarm_ops, [&] {
+    store_.install(alarm);
+    return 0;
+  });
+  metrics_.server_alarm_ops += kOpsPerUpdateOverhead;
+  ++metrics_.alarms_installed;
+  // Use the admitted copy from here on: install normalizes (sorts) the
+  // subscriber list, which the subscribed() check below requires.
+  const alarms::SpatialAlarm& installed = store_.alarm(alarm.id);
+
+  // A cached public bitmap that predates a public install would mask the
+  // new alarm for every future hand-out: drop the affected cells.
+  if (installed.scope == alarms::AlarmScope::kPublic &&
+      cache_config_.has_value()) {
+    for (const grid::CellId cell :
+         grid_.cells_intersecting(installed.region)) {
+      public_cache_[grid_.flat_index(cell)].reset();
+    }
+  }
+
+  // Range-query the outstanding grants and push to every affected
+  // subscriber the alarm applies to.
+  const std::uint64_t before = sessions_.node_accesses();
+  std::vector<std::pair<alarms::SubscriberId, dynamics::GrantKind>> affected;
+  sessions_.visit_intersecting(
+      installed.region,
+      [&](alarms::SubscriberId s, const dynamics::SessionIndex::Grant& g) {
+        affected.emplace_back(s, g.kind);
+        return true;
+      });
+  metrics_.server_region_ops +=
+      (sessions_.node_accesses() - before) * kOpsPerNodeAccess;
+  for (const auto& [s, kind] : affected) {
+    if (!alarms::AlarmStore::subscribed(installed, s)) continue;
+    push_invalidation(s, kind, installed);
+  }
+}
+
+bool Server::remove_alarm(alarms::AlarmId id) {
+  SALARM_REQUIRE(dynamics_enabled_, "dynamics tier not enabled");
+  const bool removed = charged(&Metrics::server_alarm_ops, [&] {
+    return store_.uninstall(id);
+  });
+  if (removed) {
+    metrics_.server_alarm_ops += kOpsPerUpdateOverhead;
+    ++metrics_.alarms_removed;
+  }
+  return removed;
+}
+
+std::vector<dynamics::InvalidationPush> Server::take_invalidations(
+    alarms::SubscriberId s) {
+  if (s >= mailboxes_.size() || mailboxes_[s].empty()) return {};
+  return std::exchange(mailboxes_[s], {});
 }
 
 }  // namespace salarm::sim

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "alarms/alarm_store.h"
+#include "dynamics/session_index.h"
 #include "grid/grid_overlay.h"
 #include "saferegion/motion_model.h"
 #include "saferegion/mwpsr.h"
@@ -98,6 +99,26 @@ class Server final : public ServerApi {
   std::vector<const alarms::SpatialAlarm*> push_alarms(
       alarms::SubscriberId s, geo::Point position) override;
 
+  /// Switches on the dynamics tier (DESIGN.md §8): every grant handed out
+  /// from here on is recorded in a SessionIndex, and online installs push
+  /// invalidations into per-subscriber mailboxes. Off by default so static
+  /// runs stay bit-identical to the pre-dynamics simulator.
+  void enable_dynamics(std::size_t subscriber_count);
+  bool dynamics_enabled() const { return dynamics_enabled_; }
+
+  /// Installs an alarm online and invalidates every outstanding grant the
+  /// alarm's region (closed) intersects, for subscribers the alarm applies
+  /// to. Requires enable_dynamics.
+  void install_alarm(const alarms::SpatialAlarm& alarm);
+
+  /// Removes an alarm online; outstanding grants stay sound (they are
+  /// merely smaller than necessary) and re-widen at the client's next
+  /// natural refresh, so no pushes are sent. Returns false if absent.
+  bool remove_alarm(alarms::AlarmId id);
+
+  std::vector<dynamics::InvalidationPush> take_invalidations(
+      alarms::SubscriberId s) override;
+
   const grid::GridOverlay& grid() const override { return grid_; }
   alarms::AlarmStore& store() { return store_; }
   Metrics& metrics() override { return metrics_; }
@@ -117,10 +138,24 @@ class Server final : public ServerApi {
     return result;
   }
 
+  /// Records the grant just issued to s (no-op unless dynamics is on);
+  /// SessionIndex node accesses are charged like any other region work.
+  void record_grant(alarms::SubscriberId s, dynamics::GrantKind kind,
+                    const geo::Rect& bounds);
+
+  /// Queues one invalidation push for s (action chosen from the grant
+  /// kind) and charges its wire size. Revoked grants are forgotten.
+  void push_invalidation(alarms::SubscriberId s, dynamics::GrantKind kind,
+                         const alarms::SpatialAlarm& alarm);
+
   alarms::AlarmStore& store_;
   const grid::GridOverlay& grid_;
   Metrics& metrics_;
   std::vector<alarms::TriggerEvent> trigger_log_;
+
+  bool dynamics_enabled_ = false;
+  dynamics::SessionIndex sessions_;
+  std::vector<std::vector<dynamics::InvalidationPush>> mailboxes_;
 
   struct PublicCacheEntry {
     saferegion::PyramidBitmap bitmap;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "alarms/spatial_alarm.h"
+#include "dynamics/invalidation.h"
 #include "geometry/point.h"
 #include "grid/grid_overlay.h"
 #include "saferegion/motion_model.h"
@@ -66,6 +67,14 @@ class ServerApi {
   /// until the next store mutation.
   virtual std::vector<const alarms::SpatialAlarm*> push_alarms(
       alarms::SubscriberId s, geo::Point position) = 0;
+
+  /// Drains the subscriber's invalidation mailbox (dynamics tier,
+  /// DESIGN.md §8): pushes queued by alarm installs since the subscriber's
+  /// previous tick. Always empty on static runs. Every strategy polls this
+  /// at the top of on_tick, *before* deciding whether to stay silent, so a
+  /// freshly installed alarm can never be masked for even one tick.
+  virtual std::vector<dynamics::InvalidationPush> take_invalidations(
+      alarms::SubscriberId s) = 0;
 
   virtual const grid::GridOverlay& grid() const = 0;
 

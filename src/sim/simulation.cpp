@@ -20,15 +20,69 @@ Simulation::Simulation(mobility::PositionSource& source,
 
 const std::vector<alarms::TriggerEvent>& Simulation::oracle() {
   if (!oracle_.has_value()) {
-    oracle_ = ground_truth_triggers(source_, store_, ticks_);
+    if (scheduler_.has_value()) {
+      // Churn-aware ground truth: replay the identical timeline straight
+      // against the store (no server, no metrics), then rewind so the next
+      // run starts from the initial alarm set again.
+      rewind_store();
+      scheduler_->reset();
+      oracle_ = ground_truth_triggers(
+          source_, store_, ticks_,
+          [&](std::size_t t, alarms::AlarmStore& store) {
+            apply_churn(
+                t, [&](const alarms::SpatialAlarm& a) { store.install(a); },
+                [&](alarms::AlarmId id) { (void)store.uninstall(id); });
+          });
+      rewind_store();
+    } else {
+      oracle_ = ground_truth_triggers(source_, store_, ticks_);
+    }
     store_.reset_index_node_accesses();
   }
   return *oracle_;
 }
 
+void Simulation::set_churn(const dynamics::ChurnConfig& config,
+                           std::uint64_t seed) {
+  // A previous churn run leaves the store in end-of-trace state; rewind to
+  // the prior snapshot first so re-arming churn (e.g. a rate sweep) always
+  // starts from the original alarm set.
+  rewind_store();
+  initial_alarms_ = store_.all();
+  scheduler_.emplace(config, grid_.universe(), initial_alarms_, ticks_, seed);
+  oracle_.reset();  // ground truth depends on the timeline
+}
+
+const dynamics::AlarmScheduler& Simulation::churn_scheduler() const {
+  SALARM_REQUIRE(scheduler_.has_value(), "churn is not enabled");
+  return *scheduler_;
+}
+
+void Simulation::rewind_store() {
+  if (!scheduler_.has_value()) return;
+  store_.clear();
+  store_.install_bulk(initial_alarms_);
+}
+
+void Simulation::apply_churn(
+    std::size_t t,
+    const std::function<void(const alarms::SpatialAlarm&)>& install,
+    const std::function<void(alarms::AlarmId)>& remove) {
+  if (!scheduler_.has_value()) return;
+  scheduler_->for_each_due(
+      static_cast<std::uint64_t>(t), [&](const dynamics::ChurnEvent& e) {
+        if (e.kind == dynamics::ChurnEvent::Kind::kInstall) {
+          install(e.alarm);
+        } else {
+          remove(e.id);
+        }
+      });
+}
+
 RunResult Simulation::run(const StrategyFactory& factory) {
   const auto& expected = oracle();  // ensure cached before timing the run
 
+  rewind_store();
   store_.reset_triggers();
   store_.reset_index_node_accesses();
   source_.reset();
@@ -39,6 +93,10 @@ RunResult Simulation::run(const StrategyFactory& factory) {
   result.duration_s = duration_s();
 
   Server server(store_, grid_, result.metrics);
+  if (scheduler_.has_value()) {
+    server.enable_dynamics(source_.vehicle_count());
+    scheduler_->reset();
+  }
   const auto strategy = factory(server);
   result.strategy = std::string(strategy->name());
 
@@ -48,6 +106,11 @@ RunResult Simulation::run(const StrategyFactory& factory) {
   }
   for (std::size_t t = 1; t < ticks_; ++t) {
     source_.step();
+    // Serial churn phase: the server installs/removes alarms and queues
+    // invalidation pushes before any subscriber of tick t is processed.
+    apply_churn(
+        t, [&](const alarms::SpatialAlarm& a) { server.install_alarm(a); },
+        [&](alarms::AlarmId id) { (void)server.remove_alarm(id); });
     const auto& samples = source_.samples();
     for (mobility::VehicleId v = 0; v < samples.size(); ++v) {
       strategy->on_tick(v, samples[v], t);
@@ -68,6 +131,7 @@ RunResult Simulation::run_sharded(const StrategyFactory& factory,
                                   const ShardedRunOptions& options) {
   const auto& expected = oracle();  // ensure cached before timing the run
 
+  rewind_store();  // before slicing: shards replicate the initial set
   store_.reset_triggers();
   store_.reset_index_node_accesses();
   source_.reset();
@@ -79,6 +143,10 @@ RunResult Simulation::run_sharded(const StrategyFactory& factory,
 
   cluster::ShardedServer server(store_, grid_, options.shards,
                                 source_.vehicle_count());
+  if (scheduler_.has_value()) {
+    server.enable_dynamics(source_.vehicle_count());
+    scheduler_->reset();
+  }
   const auto strategy = factory(server);
   result.strategy = std::string(strategy->name());
 
@@ -116,6 +184,12 @@ RunResult Simulation::run_sharded(const StrategyFactory& factory,
   });
   for (std::size_t t = 1; t < ticks_; ++t) {
     source_.step();
+    // Serial churn phase between parallel ticks: installs replicate to
+    // every extent-intersecting shard and queue invalidation pushes before
+    // any worker thread starts on tick t.
+    apply_churn(
+        t, [&](const alarms::SpatialAlarm& a) { server.install_alarm(a); },
+        [&](alarms::AlarmId id) { (void)server.remove_alarm(id); });
     fan_out(
         [&](mobility::VehicleId v, const mobility::VehicleSample& sample) {
           strategy->on_tick(v, sample, t);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "alarms/alarm_store.h"
+#include "dynamics/churn.h"
 #include "grid/grid_overlay.h"
 #include "mobility/position_source.h"
 #include "sim/metrics.h"
@@ -78,6 +79,18 @@ class Simulation {
   /// Ground-truth trigger events (computed on first use, then cached).
   const std::vector<alarms::TriggerEvent>& oracle();
 
+  /// Enables alarm churn (DESIGN.md §8): snapshots the store's current
+  /// alarm set as the initial state, precomputes a deterministic
+  /// install/remove/expiry timeline for ticks [1, ticks), and invalidates
+  /// the cached oracle. Every subsequent run — monolithic or sharded — and
+  /// the oracle replay the identical timeline; the store is rewound to the
+  /// snapshot at the start of each replay, so runs stay independent.
+  void set_churn(const dynamics::ChurnConfig& config, std::uint64_t seed);
+
+  bool churn_enabled() const { return scheduler_.has_value(); }
+  /// The precomputed churn timeline; only valid after set_churn.
+  const dynamics::AlarmScheduler& churn_scheduler() const;
+
   std::size_t ticks() const { return ticks_; }
   double tick_seconds() const { return source_.tick_seconds(); }
   double duration_s() const {
@@ -85,11 +98,22 @@ class Simulation {
   }
 
  private:
+  /// Rewinds the store to the churn snapshot (no-op without churn).
+  void rewind_store();
+  /// Applies all churn events due at tick t through the given install /
+  /// remove hooks (no-op without churn). Serial phase only.
+  void apply_churn(
+      std::size_t t,
+      const std::function<void(const alarms::SpatialAlarm&)>& install,
+      const std::function<void(alarms::AlarmId)>& remove);
+
   mobility::PositionSource& source_;
   alarms::AlarmStore& store_;
   const grid::GridOverlay& grid_;
   std::size_t ticks_;
   std::optional<std::vector<alarms::TriggerEvent>> oracle_;
+  std::optional<dynamics::AlarmScheduler> scheduler_;
+  std::vector<alarms::SpatialAlarm> initial_alarms_;
 };
 
 }  // namespace salarm::sim

@@ -40,6 +40,13 @@ void BitmapRegionStrategy::on_tick(alarms::SubscriberId s,
   auto& bitmap = bitmaps_[s];
   auto& metrics = server_.metrics();
 
+  // Invalidation pushes (dynamics tier): conservatively mark the new
+  // alarm's region unsafe in the held bitmap before the descent below.
+  for (const auto& push : server_.take_invalidations(s)) {
+    ++metrics.client_check_ops;
+    if (bitmap.has_value()) bitmap->mark_unsafe(push.region);
+  }
+
   // Base-cell exit: report and fetch the new cell's bitmap. The cell
   // membership test is part of the client's per-tick containment work.
   ++metrics.client_checks;

@@ -30,6 +30,14 @@ void OptimalStrategy::on_tick(alarms::SubscriberId s,
   auto& state = clients_[s];
   auto& metrics = server_.metrics();
 
+  // Invalidation pushes (dynamics tier): append the new alarm to the local
+  // list before the evaluation below, so an alarm installed on top of the
+  // client fires this very tick.
+  for (const auto& push : server_.take_invalidations(s)) {
+    ++metrics.client_check_ops;
+    if (state.has_value()) state->alarms.emplace_back(push.alarm, push.region);
+  }
+
   // Cell membership is part of the per-tick client work.
   ++metrics.client_checks;
   ++metrics.client_check_ops;
@@ -41,20 +49,21 @@ void OptimalStrategy::on_tick(alarms::SubscriberId s,
 
   // Full client-side evaluation: one test per pushed alarm.
   metrics.client_check_ops += state->alarms.size();
-  const bool hit = std::any_of(
-      state->alarms.begin(), state->alarms.end(),
-      [&](const auto& entry) {
-        return entry.second.interior_contains(sample.pos);
-      });
-  if (!hit) return;
+  std::vector<alarms::AlarmId> hits;
+  for (const auto& [id, region] : state->alarms) {
+    if (region.interior_contains(sample.pos)) hits.push_back(id);
+  }
+  if (hits.empty()) return;
 
   // Spatial constraints met: report; the server fires and spends the
-  // alarms, and the client prunes its local copies.
-  const auto fired = server_.handle_position_update(s, sample.pos, tick);
-  for (const alarms::AlarmId id : fired) {
-    std::erase_if(state->alarms,
-                  [id](const auto& entry) { return entry.first == id; });
-  }
+  // alarms. Every hit is pruned locally, fired or not — a hit the server
+  // did not fire means the alarm was removed (or already spent) server-
+  // side, and keeping the stale copy would re-report every tick. On static
+  // runs hits and fired coincide exactly.
+  (void)server_.handle_position_update(s, sample.pos, tick);
+  std::erase_if(state->alarms, [&](const auto& entry) {
+    return std::find(hits.begin(), hits.end(), entry.first) != hits.end();
+  });
 }
 
 }  // namespace salarm::strategies

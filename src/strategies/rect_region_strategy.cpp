@@ -44,6 +44,13 @@ void RectRegionStrategy::on_tick(alarms::SubscriberId s,
                                  const mobility::VehicleSample& sample,
                                  std::uint64_t tick) {
   auto& region = regions_[s];
+  // Invalidation pushes (dynamics tier): a revoke drops the region before
+  // the containment decision below, forcing a report this very tick.
+  for (const auto& push : server_.take_invalidations(s)) {
+    (void)push;  // rect grants only ever receive revokes
+    ++server_.metrics().client_check_ops;
+    region.reset();
+  }
   // One rectangle containment test per tick. Closed containment: the
   // region may legally share boundary with alarm regions (triggers are
   // open-interior) and with the grid cell, so a subscriber riding a cell

@@ -40,6 +40,13 @@ void SafePeriodStrategy::on_tick(alarms::SubscriberId s,
                                  const mobility::VehicleSample& sample,
                                  std::uint64_t tick) {
   const double now = static_cast<double>(tick) * tick_seconds_;
+  // Invalidation pushes (dynamics tier): a revoke ends the safe period
+  // immediately, forcing a report this very tick.
+  for (const auto& push : server_.take_invalidations(s)) {
+    (void)push;  // safe-period grants only ever receive revokes
+    ++server_.metrics().client_check_ops;
+    next_report_s_[s] = now;
+  }
   if (now < next_report_s_[s]) return;  // still inside the safe period
   report(s, sample.pos, tick);
 }

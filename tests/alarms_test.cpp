@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -268,6 +269,96 @@ TEST(AlarmStoreTest, IndexAccessCounterMoves) {
   (void)store.process_position(1, {500, 500}, 0, nullptr);
   EXPECT_GT(store.index_node_accesses(), 0u);
 }
+
+// ---------------------------------------------------------------------------
+// Erase / re-insert property sweep
+// ---------------------------------------------------------------------------
+
+class StoreChurnPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+// Random installs, uninstalls and re-installs over a sparse id space,
+// cross-checked against a plain map model — exactly the stress the dynamics
+// tier (src/dynamics) puts on the store's swap-and-pop slot bookkeeping.
+TEST_P(StoreChurnPropertyTest, EraseReinsertMatchesReferenceModel) {
+  constexpr std::size_t kIdSpace = 1000;  // sparse: far more ids than alarms
+  constexpr int kOps = 600;
+  const Rect universe(0, 0, 5000, 5000);
+
+  Rng rng(GetParam());
+  AlarmStore store;
+  std::map<AlarmId, Rect> model;
+
+  const auto random_region = [&] {
+    const Point c{rng.uniform(100, 4900), rng.uniform(100, 4900)};
+    return Rect::centered_square(c, rng.uniform(10, 150));
+  };
+
+  for (int op = 0; op < kOps; ++op) {
+    const double dice = rng.uniform(0.0, 1.0);
+    if (dice < 0.55 || model.empty()) {
+      // Install under a random sparse id (ids are reused after erase).
+      const auto id = static_cast<AlarmId>(rng.index(kIdSpace));
+      if (model.count(id) != 0) {
+        EXPECT_THROW(store.install(make_public(id, random_region())),
+                     salarm::PreconditionError);
+      } else {
+        const Rect region = random_region();
+        store.install(make_public(id, region));
+        model.emplace(id, region);
+      }
+    } else if (dice < 0.95) {
+      // Uninstall an existing alarm (or a vacant id: must return false).
+      const auto id = static_cast<AlarmId>(rng.index(kIdSpace));
+      EXPECT_EQ(store.uninstall(id), model.erase(id) != 0);
+    } else {
+      // Rewind: clear + bulk re-install of the surviving set.
+      std::vector<SpatialAlarm> survivors;
+      for (const auto& [id, region] : model) {
+        survivors.push_back(make_public(id, region));
+      }
+      store.clear();
+      store.install_bulk(std::move(survivors));
+    }
+
+    // Invariants after every op.
+    ASSERT_EQ(store.size(), model.size());
+    std::set<AlarmId> store_ids;
+    for (const auto& a : store.all()) {
+      store_ids.insert(a.id);
+      const auto it = model.find(a.id);
+      ASSERT_TRUE(it != model.end());
+      EXPECT_EQ(a.region, it->second);
+      EXPECT_TRUE(store.installed(a.id));
+      EXPECT_EQ(store.alarm(a.id).id, a.id);
+    }
+    ASSERT_EQ(store_ids.size(), store.size());  // no duplicate slots
+  }
+
+  // Spatial queries over the final state agree with a brute-force scan.
+  for (int q = 0; q < 25; ++q) {
+    const Point c{rng.uniform(0, 5000), rng.uniform(0, 5000)};
+    const Rect window = Rect::centered_square(c, 800)
+                            .intersection(universe)
+                            .value_or(Rect(0, 0, 1, 1));
+    std::set<AlarmId> got;
+    for (const auto* a : store.relevant_in_window(window, 0)) {
+      got.insert(a->id);
+    }
+    std::set<AlarmId> expected;
+    for (const auto& [id, region] : model) {
+      if (region.intersects(window)) expected.insert(id);
+    }
+    EXPECT_EQ(got, expected);
+  }
+
+  // A vacated id past the end of the slot table stays uninstallable-clean.
+  EXPECT_FALSE(store.installed(kIdSpace + 7));
+  EXPECT_FALSE(store.uninstall(kIdSpace + 7));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreChurnPropertyTest,
+                         ::testing::Values(11u, 12u, 13u));
 
 // ---------------------------------------------------------------------------
 // Workload generator

@@ -1,3 +1,4 @@
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -144,6 +145,99 @@ TEST(WireFormatTest, PyramidPayloadValidated) {
   bad.bit_count = 10;
   bad.bits = {0xFF};  // needs 2 bytes
   EXPECT_THROW(encode(bad), salarm::PreconditionError);
+}
+
+TEST(WireFormatTest, InvalidationRoundTrip) {
+  // Revoke/shrink pushes carry no alert content.
+  const InvalidationMsg revoke{0, 17, Rect(1, 2, 3, 4), ""};
+  const auto revoke_bytes = encode(revoke);
+  EXPECT_EQ(revoke_bytes.size(), encoded_size(revoke));
+  EXPECT_EQ(revoke_bytes.size(), invalidation_message_size(0));
+  const auto revoke_decoded = decode_invalidation(revoke_bytes);
+  EXPECT_EQ(revoke_decoded.action, 0);
+  EXPECT_EQ(revoke_decoded.alarm, 17u);
+  EXPECT_EQ(revoke_decoded.region, revoke.region);
+  EXPECT_TRUE(revoke_decoded.message.empty());
+
+  // Alarm-add pushes carry the alarm's message.
+  const InvalidationMsg add{2, 90001, Rect(10, 10, 20, 20),
+                            "ozone alert downtown"};
+  const auto add_bytes = encode(add);
+  EXPECT_EQ(add_bytes.size(), encoded_size(add));
+  EXPECT_EQ(add_bytes.size(), invalidation_message_size(add.message.size()));
+  const auto add_decoded = decode_invalidation(add_bytes);
+  EXPECT_EQ(add_decoded.action, 2);
+  EXPECT_EQ(add_decoded.alarm, 90001u);
+  EXPECT_EQ(add_decoded.message, add.message);
+}
+
+TEST(WireFormatTest, InvalidationRejectsCorruptPayloads) {
+  const InvalidationMsg m{1, 5, Rect(0, 0, 1, 1), ""};
+  auto bytes = encode(m);
+
+  // Bad type byte.
+  auto bad_type = bytes;
+  bad_type[0] = static_cast<std::uint8_t>(MessageType::kSafePeriod);
+  EXPECT_THROW(decode_invalidation(bad_type), salarm::PreconditionError);
+
+  // Unknown action byte (only 0/1/2 are defined).
+  auto bad_action = bytes;
+  bad_action[1] = 7;
+  EXPECT_THROW(decode_invalidation(bad_action), salarm::PreconditionError);
+
+  // Trailing garbage.
+  auto long_buf = bytes;
+  long_buf.push_back(0);
+  EXPECT_THROW(decode_invalidation(long_buf), salarm::PreconditionError);
+}
+
+// Every strict prefix of a valid message must throw — decoding may never
+// read past the buffer or fall into UB on short input.
+template <typename Decoder>
+void expect_all_prefixes_throw(const std::vector<std::uint8_t>& bytes,
+                               Decoder decode) {
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(decode(std::span(bytes.data(), len)),
+                 salarm::PreconditionError)
+        << "prefix of length " << len << " accepted";
+  }
+}
+
+TEST(WireFormatTest, TruncationSweepThrowsForEveryPrefix) {
+  expect_all_prefixes_throw(encode(PositionUpdate{1, {2, 3}, 4}),
+                            [](auto b) { return decode_position_update(b); });
+  expect_all_prefixes_throw(encode(RectSafeRegionMsg{Rect(0, 0, 1, 1)}),
+                            [](auto b) { return decode_rect_safe_region(b); });
+  expect_all_prefixes_throw(encode(SafePeriodMsg{3.5}),
+                            [](auto b) { return decode_safe_period(b); });
+  expect_all_prefixes_throw(encode(TriggerNoticeMsg{9, "low fuel"}),
+                            [](auto b) { return decode_trigger_notice(b); });
+  expect_all_prefixes_throw(
+      encode(AlarmPushMsg{Rect(0, 0, 9, 9), {{1, Rect(1, 1, 2, 2), "hi"}}}),
+      [](auto b) { return decode_alarm_push(b); });
+  expect_all_prefixes_throw(
+      encode(InvalidationMsg{2, 5, Rect(0, 0, 1, 1), "msg"}),
+      [](auto b) { return decode_invalidation(b); });
+
+  const auto bitmap = saferegion::PyramidBitmap::build(
+      Rect(0, 0, 900, 900), std::vector<Rect>{Rect(10, 10, 200, 200)},
+      saferegion::PyramidConfig{});
+  expect_all_prefixes_throw(
+      encode(PyramidSafeRegionMsg::from(bitmap)),
+      [](auto b) { return decode_pyramid_safe_region(b); });
+}
+
+TEST(WireFormatTest, AlarmPushRejectsReserveBomb) {
+  // An attacker-controlled alarm count far beyond what the payload can hold
+  // must be rejected up front, not fed to vector::reserve.
+  auto bytes = encode(AlarmPushMsg{Rect(0, 0, 1, 1), {}});
+  // Layout: type(1) + cell rect(32) + count(4); patch the count field.
+  ASSERT_EQ(bytes.size(), 37u);
+  bytes[33] = 0xFF;
+  bytes[34] = 0xFF;
+  bytes[35] = 0xFF;
+  bytes[36] = 0xFF;
+  EXPECT_THROW(decode_alarm_push(bytes), salarm::PreconditionError);
 }
 
 }  // namespace
