@@ -32,9 +32,9 @@ int main() {
   mobility::RandomWaypointSource source(experiment.grid().universe(), rw);
   sim::Simulation waypoint_sim(source, experiment.store(),
                                experiment.grid(), cfg.ticks());
-  const auto waypoint = waypoint_sim.run([&](sim::ServerApi& server) {
+  const auto waypoint = waypoint_sim.run([&](net::ClientLink& link) {
     return std::make_unique<strategies::RectRegionStrategy>(
-        server, cfg.vehicles, model);
+        link, cfg.vehicles, model);
   });
   bench::require_perfect(waypoint);
 

@@ -1,0 +1,104 @@
+// Robustness study: the full fault matrix (DESIGN.md §9).
+//
+// Sweeps escalating channel fault scenarios — clean, 20% symmetric loss,
+// loss + delay/jitter + duplication, and full chaos with burst outages —
+// across all seven strategies. The headline invariant is checked on every
+// run: the reliability protocol (sequence numbers + ACK/retransmission,
+// leased grants with server-side fallback) keeps every strategy
+// oracle-exact under arbitrary loss, reordering, duplication and outage
+// schedules; what faults cost is protocol traffic and energy, never
+// accuracy.
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace salarm;
+
+namespace {
+
+struct Scenario {
+  const char* name;
+  net::ChannelConfig channel;
+};
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> out;
+  out.push_back({"clean", {}});
+
+  net::ChannelConfig loss;
+  loss.uplink_loss = 0.2;
+  loss.downlink_loss = 0.2;
+  out.push_back({"loss 20%", loss});
+
+  net::ChannelConfig degraded = loss;
+  degraded.latency_base_ms = 40.0;
+  degraded.latency_jitter_ms = 80.0;  // jitter reorders in-flight copies
+  degraded.duplicate_rate = 0.1;
+  out.push_back({"loss+delay+dup", degraded});
+
+  net::ChannelConfig chaos = degraded;
+  chaos.outage_start_per_tick = 0.01;
+  chaos.outage_mean_ticks = 3.0;
+  out.push_back({"full chaos", chaos});
+  return out;
+}
+
+std::vector<std::pair<std::string, sim::Simulation::StrategyFactory>>
+strategy_set(const core::Experiment& experiment) {
+  saferegion::PyramidConfig gbsr;
+  gbsr.height = 1;
+  saferegion::PyramidConfig pbsr;
+  pbsr.height = 5;
+  std::vector<std::pair<std::string, sim::Simulation::StrategyFactory>> out;
+  out.emplace_back("PRD", experiment.periodic());
+  out.emplace_back("SP", experiment.safe_period());
+  out.emplace_back("MWPSR", experiment.rect(saferegion::MotionModel(1.0, 32)));
+  out.emplace_back("GBSR", experiment.bitmap(gbsr));
+  out.emplace_back("PBSR", experiment.bitmap(pbsr));
+  out.emplace_back("PBSR+cache", experiment.bitmap_cached(pbsr));
+  out.emplace_back("OPT", experiment.optimal());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  core::ExperimentConfig cfg = bench::default_config();
+  bench::print_banner("Robustness",
+                      "fault matrix: loss, delay, duplication, outages", cfg);
+
+  core::Experiment experiment(cfg);
+  const sim::CostModel cost;
+
+  for (const Scenario& scenario : scenarios()) {
+    experiment.enable_channel(scenario.channel);
+    std::printf("-- %s --\n", scenario.name);
+    std::printf("%-12s %12s %10s %8s %10s %10s %9s %11s\n", "strategy",
+                "messages", "retrans", "dups", "outages", "fallback",
+                "lat ms", "net mWh");
+    for (const auto& [label, factory] : strategy_set(experiment)) {
+      const auto run = experiment.simulation().run(factory);
+      bench::require_perfect(run);
+      const auto& m = run.metrics;
+      std::printf("%-12s %12s %10s %8s %10s %10s %9.1f %11.2f\n",
+                  label.c_str(),
+                  bench::with_commas(m.uplink_messages).c_str(),
+                  bench::with_commas(m.net_retransmissions).c_str(),
+                  bench::with_commas(m.net_duplicates_dropped).c_str(),
+                  bench::with_commas(m.net_outages).c_str(),
+                  bench::with_commas(m.net_lease_fallback_ticks).c_str(),
+                  m.net_delivery_latency_ms.mean(),
+                  cost.net_overhead_mwh(m));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "every run above is oracle-exact (a violation aborts the bench):\n"
+      "faults buy retransmissions, duplicate suppressions and lease\n"
+      "fallback ticks — never missed or spurious alarms.\n");
+  return 0;
+}

@@ -3,10 +3,14 @@
 // A lost safe-region message cannot break correctness — the client's
 // previous region stays sound (relevance only shrinks over time), or it
 // has none and keeps asking. What loss costs is communication: every
-// dropped response is answered by another report. This bench injects loss
-// into the rect and bitmap strategies and verifies the 100%-accuracy
-// invariant survives while messages inflate.
+// dropped response is answered by another report. This bench routes the
+// rect and bitmap strategies through a channel with downlink loss only
+// (DESIGN.md §9) and verifies the 100%-accuracy invariant survives while
+// messages inflate. The full fault matrix — uplink loss, delay,
+// duplication, outages — is bench/robustness_faults.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 
@@ -24,36 +28,43 @@ int main() {
   saferegion::PyramidConfig pbsr;
   pbsr.height = 5;
 
-  std::printf("%-10s %16s %10s %16s %10s %16s %10s\n", "loss", "MWPSR msgs",
-              "missed", "GBSR msgs", "missed", "PBSR msgs", "missed");
+  std::vector<std::string> header;
+  std::vector<std::string> rows;
   for (const double loss : {0.0, 0.05, 0.2, 0.5}) {
-    const auto rect =
-        loss == 0.0
-            ? experiment.simulation().run(experiment.rect(model))
-            : experiment.simulation().run(
-                  experiment.rect_with_loss(model, loss));
+    net::ChannelConfig channel;
+    channel.downlink_loss = loss;
+    experiment.enable_channel(channel);
+    const auto rect = experiment.simulation().run(experiment.rect(model));
     const auto grid_bitmap =
-        loss == 0.0
-            ? experiment.simulation().run(experiment.bitmap(gbsr))
-            : experiment.simulation().run(
-                  experiment.bitmap_with_loss(gbsr, loss));
-    const auto bitmap =
-        loss == 0.0
-            ? experiment.simulation().run(experiment.bitmap(pbsr))
-            : experiment.simulation().run(
-                  experiment.bitmap_with_loss(pbsr, loss));
+        experiment.simulation().run(experiment.bitmap(gbsr));
+    const auto bitmap = experiment.simulation().run(experiment.bitmap(pbsr));
     bench::require_perfect(rect);
     bench::require_perfect(grid_bitmap);
     bench::require_perfect(bitmap);
-    std::printf(
-        "%-10.0f%% %15s %10zu %16s %10zu %16s %10zu\n", loss * 100,
-        bench::with_commas(rect.metrics.uplink_messages).c_str(),
-        rect.accuracy.missed,
-        bench::with_commas(grid_bitmap.metrics.uplink_messages).c_str(),
-        grid_bitmap.accuracy.missed,
-        bench::with_commas(bitmap.metrics.uplink_messages).c_str(),
-        bitmap.accuracy.missed);
+    if (header.empty()) {
+      // Column labels come from the runs themselves so a strategy-naming
+      // change can never desynchronise header and data.
+      for (const auto* run : {&rect, &grid_bitmap, &bitmap}) {
+        header.push_back(run->strategy + " msgs");
+      }
+    }
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.0f%%", loss * 100);
+    char row[256];
+    std::snprintf(row, sizeof(row), "%-10s %16s %10zu %16s %10zu %16s %10zu",
+                  label,
+                  bench::with_commas(rect.metrics.uplink_messages).c_str(),
+                  rect.accuracy.missed,
+                  bench::with_commas(grid_bitmap.metrics.uplink_messages).c_str(),
+                  grid_bitmap.accuracy.missed,
+                  bench::with_commas(bitmap.metrics.uplink_messages).c_str(),
+                  bitmap.accuracy.missed);
+    rows.emplace_back(row);
   }
+  std::printf("%-10s %16s %10s %16s %10s %16s %10s\n", "loss",
+              header[0].c_str(), "missed", header[1].c_str(), "missed",
+              header[2].c_str(), "missed");
+  for (const auto& row : rows) std::printf("%s\n", row.c_str());
   std::printf("\naccuracy survives any loss rate; lost responses are paid "
               "for in repeat reports.\n");
   return 0;

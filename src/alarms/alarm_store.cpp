@@ -137,10 +137,12 @@ std::vector<const SpatialAlarm*> AlarmStore::public_in_window(
 
 std::vector<AlarmId> AlarmStore::process_position(
     SubscriberId s, geo::Point p, std::uint64_t tick,
-    std::vector<TriggerEvent>* log) {
+    std::vector<TriggerEvent>* log,
+    const std::function<bool(AlarmId)>& filter) {
   std::vector<AlarmId> fired;
   tree_.visit(geo::Rect(p, p), [&](const index::Entry& e) {
     const SpatialAlarm& a = alarms_[slot_of_[static_cast<AlarmId>(e.id)]];
+    if (filter && !filter(a.id)) return true;
     // Open-interior trigger semantics: the alarm fires when the subscriber
     // enters the interior of the region; merely touching the boundary does
     // not (and safe regions may legally share that boundary).
@@ -155,7 +157,9 @@ std::vector<AlarmId> AlarmStore::process_position(
 }
 
 void AlarmStore::mark_spent(AlarmId id, SubscriberId s) {
-  SALARM_REQUIRE(installed(id), "no such alarm");
+  // Deliberately no installed(id) requirement: spent state is pure trigger
+  // history and outlives removal (uninstall keeps it), and the buffered-
+  // report graveyard path records fires for already-uninstalled alarms.
   spent_.insert(spend_key(id, s));
 }
 

@@ -109,14 +109,22 @@ class AlarmStore {
 
   /// Server-side alarm processing of one position update: fires every
   /// relevant alarm whose region contains p, marks the pairs spent, and
-  /// returns the fired alarm ids (empty in the common case).
-  std::vector<AlarmId> process_position(SubscriberId s, geo::Point p,
-                                        std::uint64_t tick,
-                                        std::vector<TriggerEvent>* log);
+  /// returns the fired alarm ids (empty in the common case). A non-empty
+  /// `filter` restricts evaluation to alarms it accepts — the buffered-
+  /// report path (sim/server.h handle_buffered_update) uses it to evaluate
+  /// a late report only against alarms already installed at its original
+  /// tick.
+  std::vector<AlarmId> process_position(
+      SubscriberId s, geo::Point p, std::uint64_t tick,
+      std::vector<TriggerEvent>* log,
+      const std::function<bool(AlarmId)>& filter = {});
 
   /// Marks an (alarm, subscriber) pair spent without going through
   /// process_position; used by client-side evaluation strategies (OPT)
-  /// when the client reports a trigger.
+  /// when the client reports a trigger, and by the buffered-report
+  /// graveyard path for alarms that have since been uninstalled — trigger
+  /// history deliberately outlives removal (uninstall keeps spent state),
+  /// so the id need not be installed.
   void mark_spent(AlarmId id, SubscriberId s);
 
   bool spent(AlarmId id, SubscriberId s) const;

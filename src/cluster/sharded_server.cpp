@@ -66,8 +66,14 @@ ShardedServer::Shard& ShardedServer::contact(alarms::SubscriberId s,
       ++shard.metrics.handoff_messages;
       shard.metrics.handoff_bytes +=
           wire::handoff_message_size(session.fired.size());
+      // Mark every carried fire spent unconditionally: the id may be
+      // uninstalled here (or never replicated here), but the buffered-
+      // report graveyard path (handle_buffered_update) still consults
+      // spent state for removed alarms, so the trigger history must
+      // survive the crossing. Spent state is a pure key set — marking an
+      // absent id is cheap and safe.
       for (const alarms::AlarmId id : session.fired) {
-        if (shard.store.installed(id)) shard.store.mark_spent(id, s);
+        shard.store.mark_spent(id, s);
       }
     }
     session.shard = owner;
@@ -80,6 +86,20 @@ std::vector<alarms::AlarmId> ShardedServer::handle_position_update(
   Shard& shard = contact(s, position);
   std::vector<alarms::AlarmId> fired =
       shard.server.handle_position_update(s, position, tick);
+  Session& session = sessions_[s];
+  session.fired.insert(session.fired.end(), fired.begin(), fired.end());
+  return fired;
+}
+
+std::vector<alarms::AlarmId> ShardedServer::handle_buffered_update(
+    alarms::SubscriberId s, geo::Point position, std::uint64_t stamp_tick) {
+  // Serial phase only (reconnect flushes run between ticks on the main
+  // thread): the call claims the owning shard itself, so buffered reports
+  // replay shard handoffs deterministically along the client's path.
+  set_active_shard(map_.shard_of(position));
+  Shard& shard = contact(s, position);
+  std::vector<alarms::AlarmId> fired =
+      shard.server.handle_buffered_update(s, position, stamp_tick);
   Session& session = sessions_[s];
   session.fired.insert(session.fired.end(), fired.begin(), fired.end());
   return fired;
@@ -142,7 +162,8 @@ void ShardedServer::enable_dynamics(std::size_t subscriber_count) {
   for (auto& shard : shards_) shard->server.enable_dynamics(subscriber_count);
 }
 
-void ShardedServer::install_alarm(const alarms::SpatialAlarm& alarm) {
+void ShardedServer::install_alarm(const alarms::SpatialAlarm& alarm,
+                                  std::uint64_t tick) {
   // Same replication rule as the initial slices: every shard whose extent
   // (closed) intersects the region gets a replica. A grant never outgrows
   // its shard's extent, so the install reaches every shard that could hold
@@ -150,15 +171,15 @@ void ShardedServer::install_alarm(const alarms::SpatialAlarm& alarm) {
   // shard order, keeping sharded churn bit-identical at any thread count.
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     if (alarm.region.intersects(map_.shard_extent(i))) {
-      shards_[i]->server.install_alarm(alarm);
+      shards_[i]->server.install_alarm(alarm, tick);
     }
   }
 }
 
-bool ShardedServer::remove_alarm(alarms::AlarmId id) {
+bool ShardedServer::remove_alarm(alarms::AlarmId id, std::uint64_t tick) {
   bool any = false;
   for (auto& shard : shards_) {
-    if (shard->store.installed(id)) any |= shard->server.remove_alarm(id);
+    if (shard->store.installed(id)) any |= shard->server.remove_alarm(id, tick);
   }
   return any;
 }

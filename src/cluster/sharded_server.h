@@ -55,6 +55,13 @@ class ShardedServer final : public sim::ServerApi {
   std::vector<alarms::AlarmId> handle_position_update(
       alarms::SubscriberId s, geo::Point position,
       std::uint64_t tick) override;
+  /// Temporal evaluation of an outage-buffered report (DESIGN.md §9).
+  /// Serial phase only: claims the owning shard itself (the flush runs on
+  /// the main thread between ticks), routes through the session handoff
+  /// like any contact, and evaluates against the shard's alarm lifetimes.
+  std::vector<alarms::AlarmId> handle_buffered_update(
+      alarms::SubscriberId s, geo::Point position,
+      std::uint64_t stamp_tick) override;
   saferegion::RectSafeRegion compute_rect_region(
       alarms::SubscriberId s, geo::Point position, double heading,
       const saferegion::MotionModel& model,
@@ -95,12 +102,14 @@ class ShardedServer final : public sim::ServerApi {
   void enable_dynamics(std::size_t subscriber_count);
   /// Installs the alarm into every shard whose extent (closed) intersects
   /// its region — the same replication rule as the initial slices — and
-  /// lets each such shard invalidate its own outstanding grants. Must be
-  /// called between ticks (serial churn phase).
-  void install_alarm(const alarms::SpatialAlarm& alarm);
-  /// Removes the alarm from every shard holding a replica. Serial-phase
-  /// only. Returns true if any replica existed.
-  bool remove_alarm(alarms::AlarmId id);
+  /// lets each such shard invalidate its own outstanding grants. The tick
+  /// is recorded per replica for temporal evaluation of buffered reports.
+  /// Must be called between ticks (serial churn phase).
+  void install_alarm(const alarms::SpatialAlarm& alarm, std::uint64_t tick);
+  /// Removes the alarm from every shard holding a replica; each replica
+  /// moves to its shard's removal graveyard with its lifetime. Serial-
+  /// phase only. Returns true if any replica existed.
+  bool remove_alarm(alarms::AlarmId id, std::uint64_t tick);
 
   // ---- Cluster control / inspection ----
   /// Declares which shard the calling thread is processing; every

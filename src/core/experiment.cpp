@@ -101,9 +101,13 @@ void Experiment::enable_churn(const dynamics::ChurnConfig& config) {
   simulation_.set_churn(config, config_.seed * 32452843 + 4);
 }
 
+void Experiment::enable_channel(const net::ChannelConfig& config) {
+  simulation_.set_channel(config, config_.seed * 49979687 + 5);
+}
+
 sim::Simulation::StrategyFactory Experiment::periodic() const {
-  return [](sim::ServerApi& server) {
-    return std::make_unique<strategies::PeriodicStrategy>(server);
+  return [](net::ClientLink& link) {
+    return std::make_unique<strategies::PeriodicStrategy>(link);
   };
 }
 
@@ -113,77 +117,53 @@ sim::Simulation::StrategyFactory Experiment::safe_period(
   const double bound = max_speed_bound();
   const double tick = config_.tick_seconds;
   return [subscribers, bound, tick,
-          speed_assumption_factor](sim::ServerApi& server) {
+          speed_assumption_factor](net::ClientLink& link) {
     return std::make_unique<strategies::SafePeriodStrategy>(
-        server, subscribers, bound, tick, speed_assumption_factor);
+        link, subscribers, bound, tick, speed_assumption_factor);
   };
 }
 
 sim::Simulation::StrategyFactory Experiment::rect(
     saferegion::MotionModel model, saferegion::MwpsrOptions options) const {
   const std::size_t subscribers = config_.vehicles;
-  return [subscribers, model, options](sim::ServerApi& server) {
+  return [subscribers, model, options](net::ClientLink& link) {
     return std::make_unique<strategies::RectRegionStrategy>(
-        server, subscribers, model, options);
+        link, subscribers, model, options);
   };
 }
 
 sim::Simulation::StrategyFactory Experiment::rect_corner_baseline(
     saferegion::MotionModel model) const {
   const std::size_t subscribers = config_.vehicles;
-  return [subscribers, model](sim::ServerApi& server) {
+  return [subscribers, model](net::ClientLink& link) {
     return std::make_unique<strategies::RectRegionStrategy>(
-        server, subscribers, model, saferegion::MwpsrOptions{},
+        link, subscribers, model, saferegion::MwpsrOptions{},
         /*corner_baseline=*/true);
-  };
-}
-
-sim::Simulation::StrategyFactory Experiment::rect_with_loss(
-    saferegion::MotionModel model, double loss_rate) const {
-  const std::size_t subscribers = config_.vehicles;
-  const std::uint64_t seed = config_.seed * 31 + 11;
-  return [subscribers, model, loss_rate, seed](sim::ServerApi& server) {
-    auto strategy = std::make_unique<strategies::RectRegionStrategy>(
-        server, subscribers, model);
-    strategy->set_downstream_loss(loss_rate, seed);
-    return strategy;
-  };
-}
-
-sim::Simulation::StrategyFactory Experiment::bitmap_with_loss(
-    saferegion::PyramidConfig config, double loss_rate) const {
-  const std::size_t subscribers = config_.vehicles;
-  const std::uint64_t seed = config_.seed * 31 + 13;
-  return [subscribers, config, loss_rate, seed](sim::ServerApi& server) {
-    auto strategy = std::make_unique<strategies::BitmapRegionStrategy>(
-        server, subscribers, config);
-    strategy->set_downstream_loss(loss_rate, seed);
-    return strategy;
   };
 }
 
 sim::Simulation::StrategyFactory Experiment::bitmap(
     saferegion::PyramidConfig config) const {
   const std::size_t subscribers = config_.vehicles;
-  return [subscribers, config](sim::ServerApi& server) {
+  return [subscribers, config](net::ClientLink& link) {
     return std::make_unique<strategies::BitmapRegionStrategy>(
-        server, subscribers, config);
+        link, subscribers, config);
   };
 }
 
 sim::Simulation::StrategyFactory Experiment::bitmap_cached(
     saferegion::PyramidConfig config) const {
   const std::size_t subscribers = config_.vehicles;
-  return [subscribers, config](sim::ServerApi& server) {
+  return [subscribers, config](net::ClientLink& link) {
     return std::make_unique<strategies::BitmapRegionStrategy>(
-        server, subscribers, config, /*use_public_cache=*/true);
+        link, subscribers, config, /*use_public_cache=*/true);
   };
 }
 
 sim::Simulation::StrategyFactory Experiment::optimal() const {
   const std::size_t subscribers = config_.vehicles;
-  return [subscribers](sim::ServerApi& server) {
-    return std::make_unique<strategies::OptimalStrategy>(server, subscribers);
+  return [subscribers](net::ClientLink& link) {
+    return std::make_unique<strategies::OptimalStrategy>(link, subscribers);
   };
 }
 

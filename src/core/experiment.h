@@ -78,9 +78,14 @@ class Experiment {
   /// Enables alarm churn on the simulation under the experiment's derived
   /// churn seed (independent of the network/trace/alarm streams).
   void enable_churn(const dynamics::ChurnConfig& config);
+  /// Routes every subsequent run through a fault-injecting channel
+  /// (DESIGN.md §9) under the experiment's derived channel seed
+  /// (independent of the network/trace/alarm/churn streams). The all-zero
+  /// config restores the perfect pass-through link.
+  void enable_channel(const net::ChannelConfig& config);
 
   // Strategy factories for Simulation::run. Each call builds a fresh
-  // strategy instance bound to the run's server.
+  // strategy instance bound to the run's client link.
   sim::Simulation::StrategyFactory periodic() const;
   /// `speed_assumption_factor` < 1 selects the optimistic motion-estimate
   /// variant (ablation; loses accuracy).
@@ -93,13 +98,6 @@ class Experiment {
   /// ablation only.
   sim::Simulation::StrategyFactory rect_corner_baseline(
       saferegion::MotionModel model) const;
-  /// Rect strategy with injected downstream message loss (robustness
-  /// study; accuracy must survive, messages grow).
-  sim::Simulation::StrategyFactory rect_with_loss(
-      saferegion::MotionModel model, double loss_rate) const;
-  /// Bitmap strategy with injected downstream message loss.
-  sim::Simulation::StrategyFactory bitmap_with_loss(
-      saferegion::PyramidConfig config, double loss_rate) const;
   sim::Simulation::StrategyFactory bitmap(
       saferegion::PyramidConfig config) const;
   /// Bitmap strategy with the precomputed public-alarm bitmap cache

@@ -1,0 +1,73 @@
+#include "net/channel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace salarm::net {
+
+FaultyChannel::FaultyChannel(const ChannelConfig& config, std::uint64_t seed,
+                             std::size_t subscriber_count)
+    : config_(config) {
+  SALARM_REQUIRE(config.uplink_loss >= 0.0 && config.uplink_loss < 1.0,
+                 "uplink loss must be in [0, 1)");
+  SALARM_REQUIRE(config.downlink_loss >= 0.0 && config.downlink_loss < 1.0,
+                 "downlink loss must be in [0, 1)");
+  SALARM_REQUIRE(config.duplicate_rate >= 0.0 && config.duplicate_rate <= 1.0,
+                 "duplicate rate must be in [0, 1]");
+  SALARM_REQUIRE(
+      config.outage_start_per_tick >= 0.0 && config.outage_start_per_tick < 1.0,
+      "outage start probability must be in [0, 1)");
+  SALARM_REQUIRE(config.outage_start_per_tick == 0.0 ||
+                     config.outage_mean_ticks >= 1.0,
+                 "outages need a mean duration of at least one tick");
+  Rng parent(seed);
+  streams_.reserve(subscriber_count);
+  for (std::size_t i = 0; i < subscriber_count; ++i) {
+    streams_.push_back(parent.fork());
+  }
+}
+
+Rng& FaultyChannel::stream(alarms::SubscriberId s) {
+  SALARM_REQUIRE(static_cast<std::size_t>(s) < streams_.size(),
+                 "subscriber outside channel range");
+  return streams_[static_cast<std::size_t>(s)];
+}
+
+bool FaultyChannel::lose_uplink(alarms::SubscriberId s) {
+  return config_.uplink_loss > 0.0 && stream(s).chance(config_.uplink_loss);
+}
+
+bool FaultyChannel::lose_downlink(alarms::SubscriberId s) {
+  return config_.downlink_loss > 0.0 && stream(s).chance(config_.downlink_loss);
+}
+
+bool FaultyChannel::duplicate(alarms::SubscriberId s) {
+  return config_.duplicate_rate > 0.0 &&
+         stream(s).chance(config_.duplicate_rate);
+}
+
+double FaultyChannel::latency_ms(alarms::SubscriberId s) {
+  double latency = config_.latency_base_ms;
+  if (config_.latency_jitter_ms > 0.0) {
+    latency += stream(s).uniform(0.0, config_.latency_jitter_ms);
+  }
+  return latency;
+}
+
+bool FaultyChannel::outage_starts(alarms::SubscriberId s) {
+  return config_.outage_start_per_tick > 0.0 &&
+         stream(s).chance(config_.outage_start_per_tick);
+}
+
+std::uint64_t FaultyChannel::outage_duration_ticks(alarms::SubscriberId s) {
+  // Exponential with the configured mean, shifted so every outage lasts at
+  // least one tick; a single draw keeps the stream advance fixed.
+  const double u = stream(s).uniform(0.0, 1.0);
+  const double extra =
+      std::max(0.0, -(config_.outage_mean_ticks - 1.0) * std::log1p(-u));
+  return 1 + static_cast<std::uint64_t>(std::llround(extra));
+}
+
+}  // namespace salarm::net

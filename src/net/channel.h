@@ -1,0 +1,93 @@
+// Deterministic fault-injecting channel (DESIGN.md §9).
+//
+// Every client<->server message of the simulator — position reports,
+// safe-region responses, invalidation pushes, ACKs — conceptually crosses
+// an unreliable radio link. FaultyChannel models that link: independent
+// per-transmission loss on each direction, payload duplication, a latency
+// distribution (base + jitter, which is what reorders messages in flight),
+// and burst outages during which a client is entirely disconnected.
+//
+// Determinism: the channel is seeded once and forks one salarm::Rng stream
+// per subscriber, so every fault decision for subscriber s is a pure
+// function of (seed, s, draw index) — independent of thread count and of
+// the draws made for other subscribers. Two channels built from the same
+// seed replay bit-identically (tests/net_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alarms/spatial_alarm.h"
+#include "common/rng.h"
+
+namespace salarm::net {
+
+/// Fault parameters of the client<->server link. All-zero (the default)
+/// means a perfect channel; ClientLink then bypasses the reliability
+/// protocol entirely (it is a provable no-op on a perfect link).
+struct ChannelConfig {
+  /// Probability that one uplink transmission (report or ACK of a push)
+  /// is lost in flight.
+  double uplink_loss = 0.0;
+  /// Probability that one downlink transmission (grant response, push, or
+  /// ACK of a report) is lost in flight.
+  double downlink_loss = 0.0;
+  /// Probability that a delivered copy is duplicated by the network; the
+  /// duplicate is suppressed by the receiver's sequence-number window.
+  double duplicate_rate = 0.0;
+  /// One-way propagation latency and uniform jitter in [0, jitter). Jitter
+  /// is what reorders messages in flight; sequence numbers restore order.
+  double latency_base_ms = 0.0;
+  double latency_jitter_ms = 0.0;
+  /// Probability that a connected client starts a burst outage on a given
+  /// tick, and the mean outage length in ticks (exponential-ish, >= 1).
+  double outage_start_per_tick = 0.0;
+  double outage_mean_ticks = 0.0;
+
+  /// True when any fault is configured; false selects the perfect-channel
+  /// fast path (zero Rng draws, zero protocol overhead).
+  bool faulty() const {
+    return uplink_loss > 0.0 || downlink_loss > 0.0 || duplicate_rate > 0.0 ||
+           latency_base_ms > 0.0 || latency_jitter_ms > 0.0 ||
+           outage_start_per_tick > 0.0;
+  }
+};
+
+/// Per-subscriber deterministic fault source. Pure draw machinery — the
+/// protocol reacting to the faults lives in net::ClientLink.
+class FaultyChannel {
+ public:
+  FaultyChannel(const ChannelConfig& config, std::uint64_t seed,
+                std::size_t subscriber_count);
+
+  const ChannelConfig& config() const { return config_; }
+  std::size_t subscriber_count() const { return streams_.size(); }
+
+  /// One Bernoulli trial per physical transmission attempt.
+  bool lose_uplink(alarms::SubscriberId s);
+  bool lose_downlink(alarms::SubscriberId s);
+  /// Whether the network duplicates a copy it just delivered.
+  bool duplicate(alarms::SubscriberId s);
+
+  /// One-way latency draw for a successful transmission (ms).
+  double latency_ms(alarms::SubscriberId s);
+
+  /// Retransmission timeout before the first backoff doubling (ms):
+  /// conservatively two one-way worst-case latencies.
+  double base_rto_ms() const {
+    return 2.0 * (config_.latency_base_ms + config_.latency_jitter_ms) + 1.0;
+  }
+
+  /// Whether a connected subscriber's carrier drops this tick.
+  bool outage_starts(alarms::SubscriberId s);
+  /// Length of a starting outage in ticks (>= 1, mean outage_mean_ticks).
+  std::uint64_t outage_duration_ticks(alarms::SubscriberId s);
+
+ private:
+  Rng& stream(alarms::SubscriberId s);
+
+  ChannelConfig config_;
+  std::vector<Rng> streams_;
+};
+
+}  // namespace salarm::net

@@ -1,0 +1,272 @@
+#include "net/link.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "saferegion/wire_format.h"
+#include "sim/server.h"
+
+namespace salarm::net {
+namespace {
+
+/// Retransmission attempts per exchange before delivery is forced. With
+/// per-attempt loss < 1 the chance of exhausting the cap is astronomically
+/// small (0.5^64); the cap only bounds the simulated draw loop — the
+/// protocol itself never gives up on a connected link.
+constexpr std::uint64_t kMaxExchangeRounds = 64;
+
+}  // namespace
+
+ClientLink::ClientLink(sim::ServerApi& server, const ChannelConfig& config,
+                       std::uint64_t seed, std::size_t subscriber_count)
+    : server_(server),
+      config_(config),
+      channel_(config, seed, subscriber_count),
+      states_(subscriber_count) {}
+
+ClientLink::SubscriberState& ClientLink::state(alarms::SubscriberId s) {
+  SALARM_REQUIRE(static_cast<std::size_t>(s) < states_.size(),
+                 "subscriber outside link range");
+  return states_[static_cast<std::size_t>(s)];
+}
+
+const ClientLink::SubscriberState& ClientLink::state(
+    alarms::SubscriberId s) const {
+  SALARM_REQUIRE(static_cast<std::size_t>(s) < states_.size(),
+                 "subscriber outside link range");
+  return states_[static_cast<std::size_t>(s)];
+}
+
+bool ClientLink::in_outage(alarms::SubscriberId s) const {
+  return config_.faulty() && state(s).outage_remaining > 0;
+}
+
+std::uint32_t ClientLink::uplink_seq(alarms::SubscriberId s) const {
+  return state(s).uplink_seq;
+}
+
+std::uint64_t ClientLink::reliable_exchange(alarms::SubscriberId s, bool uplink,
+                                            std::size_t payload_bytes,
+                                            sim::Metrics& m) {
+  std::uint64_t rounds = 0;
+  std::uint64_t received_copies = 0;
+  bool acked = false;
+  while (!acked && rounds < kMaxExchangeRounds) {
+    ++rounds;
+    const bool payload_lost =
+        uplink ? channel_.lose_uplink(s) : channel_.lose_downlink(s);
+    if (payload_lost) continue;
+    ++received_copies;
+    if (channel_.duplicate(s)) ++received_copies;
+    const bool ack_lost =
+        uplink ? channel_.lose_downlink(s) : channel_.lose_uplink(s);
+    if (!ack_lost) acked = true;
+  }
+  if (received_copies == 0) received_copies = 1;  // forced delivery at cap
+
+  // Accounting (ISSUE: retransmissions must inflate energy and bandwidth,
+  // not vanish). Every attempt beyond the first retransmits the full
+  // payload; every received copy is ACKed; every copy beyond the first is
+  // suppressed by the receiver's sequence-number window.
+  const std::uint64_t retransmissions = rounds - 1;
+  const std::uint64_t duplicates = received_copies - 1;
+  m.net_retransmissions += retransmissions;
+  m.net_duplicates_dropped += duplicates;
+  m.net_ack_messages += received_copies;
+  m.net_ack_bytes += received_copies * wire::ack_message_size();
+  if (uplink) {
+    // Position reports: the server charged the first copy when it processed
+    // the update; retransmitted copies are pure overhead on the same
+    // counters so the paper's message figures stay honest under faults.
+    m.uplink_messages += retransmissions;
+    m.uplink_bytes += retransmissions * payload_bytes;
+    m.server_alarm_ops += duplicates * sim::kOpsPerDuplicateDrop;
+  } else {
+    // Invalidation pushes: the push itself was charged when queued;
+    // retransmitted copies re-ship the payload. The client suppresses
+    // duplicates with one sequence comparison each.
+    m.invalidation_bytes += retransmissions * payload_bytes;
+    m.client_check_ops += duplicates;
+  }
+  // Delivery latency seen by the receiver: exponential-backoff waits for
+  // every failed round plus one one-way flight of the copy that made it.
+  double backoff_ms = 0.0;
+  double rto_ms = channel_.base_rto_ms();
+  for (std::uint64_t i = 1; i < rounds; ++i) {
+    backoff_ms += rto_ms;
+    rto_ms *= 2.0;
+  }
+  m.net_delivery_latency_ms.add(backoff_ms + channel_.latency_ms(s));
+  return rounds;
+}
+
+std::vector<alarms::AlarmId> ClientLink::report(alarms::SubscriberId s,
+                                                geo::Point position,
+                                                std::uint64_t tick) {
+  if (!config_.faulty()) return server_.handle_position_update(s, position, tick);
+  auto& st = state(s);
+  if (st.outage_remaining > 0) {
+    // Lease fallback: the carrier is down, so the client logs the sample
+    // for server-side checking at reconnect (DESIGN.md §9).
+    st.buffer.push_back(BufferedReport{position, tick});
+    ++server_.metrics().net_buffered_reports;
+    return {};
+  }
+  ++st.uplink_seq;
+  auto fired = server_.handle_position_update(s, position, tick);
+  reliable_exchange(s, /*uplink=*/true,
+                    wire::encoded_size(wire::PositionUpdate{}),
+                    server_.metrics());
+  return fired;
+}
+
+std::optional<saferegion::RectSafeRegion> ClientLink::request_rect_region(
+    alarms::SubscriberId s, geo::Point position, double heading,
+    const saferegion::MotionModel& model,
+    const saferegion::MwpsrOptions& options) {
+  if (!config_.faulty()) {
+    return server_.compute_rect_region(s, position, heading, model, options);
+  }
+  if (state(s).outage_remaining > 0) return std::nullopt;
+  // The request piggybacks on the report the client just delivered
+  // reliably; only the best-effort response can be lost in flight.
+  auto region = server_.compute_rect_region(s, position, heading, model,
+                                            options);
+  if (channel_.lose_downlink(s)) return std::nullopt;
+  return region;
+}
+
+std::optional<saferegion::RectSafeRegion>
+ClientLink::request_corner_baseline_region(alarms::SubscriberId s,
+                                           geo::Point position, double heading,
+                                           const saferegion::MotionModel& model) {
+  if (!config_.faulty()) {
+    return server_.compute_corner_baseline_region(s, position, heading, model);
+  }
+  if (state(s).outage_remaining > 0) return std::nullopt;
+  auto region = server_.compute_corner_baseline_region(s, position, heading,
+                                                       model);
+  if (channel_.lose_downlink(s)) return std::nullopt;
+  return region;
+}
+
+std::optional<saferegion::PyramidBitmap> ClientLink::request_pyramid_region(
+    alarms::SubscriberId s, geo::Point position,
+    const saferegion::PyramidConfig& config) {
+  if (!config_.faulty()) {
+    return server_.compute_pyramid_region(s, position, config);
+  }
+  if (state(s).outage_remaining > 0) return std::nullopt;
+  auto bitmap = server_.compute_pyramid_region(s, position, config);
+  if (channel_.lose_downlink(s)) return std::nullopt;
+  return bitmap;
+}
+
+std::optional<double> ClientLink::request_safe_period(alarms::SubscriberId s,
+                                                      geo::Point position,
+                                                      double max_speed_mps,
+                                                      double tick_seconds) {
+  if (!config_.faulty()) {
+    return server_.compute_safe_period(s, position, max_speed_mps,
+                                       tick_seconds);
+  }
+  if (state(s).outage_remaining > 0) return std::nullopt;
+  const double period =
+      server_.compute_safe_period(s, position, max_speed_mps, tick_seconds);
+  if (channel_.lose_downlink(s)) return std::nullopt;
+  return period;
+}
+
+std::optional<std::vector<const alarms::SpatialAlarm*>>
+ClientLink::request_alarms(alarms::SubscriberId s, geo::Point position) {
+  if (!config_.faulty()) return server_.push_alarms(s, position);
+  if (state(s).outage_remaining > 0) return std::nullopt;
+  auto alarms = server_.push_alarms(s, position);
+  if (channel_.lose_downlink(s)) return std::nullopt;
+  return alarms;
+}
+
+std::vector<dynamics::InvalidationPush> ClientLink::take_invalidations(
+    alarms::SubscriberId s) {
+  if (!config_.faulty()) return server_.take_invalidations(s);
+  auto& st = state(s);
+  if (st.outage_remaining > 0) {
+    // Server pushes cannot reach a disconnected client; only the client's
+    // own carrier-loss revoke is delivered (no wire traffic involved).
+    return std::exchange(st.pending_synthetic, {});
+  }
+  auto pushes = server_.take_invalidations(s);
+  sim::Metrics& m = server_.metrics();
+  for (const auto& push : pushes) {
+    // Leased downlink: each push is retransmitted until the client's ACK
+    // arrives, so a connected client receives every push within its tick.
+    reliable_exchange(s, /*uplink=*/false,
+                      wire::invalidation_message_size(push.message.size()), m);
+    ++st.downlink_seq;
+  }
+  if (!st.pending_synthetic.empty()) {
+    // Leftover carrier-loss revoke from an outage the strategy never
+    // polled during (e.g. the periodic baseline): deliver it first.
+    auto merged = std::exchange(st.pending_synthetic, {});
+    merged.insert(merged.end(), std::make_move_iterator(pushes.begin()),
+                  std::make_move_iterator(pushes.end()));
+    return merged;
+  }
+  return pushes;
+}
+
+void ClientLink::enable_public_bitmap_cache(
+    const saferegion::PyramidConfig& config) {
+  server_.enable_public_bitmap_cache(config);
+}
+
+void ClientLink::begin_tick(std::uint64_t) {
+  if (!config_.faulty()) return;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const auto s = static_cast<alarms::SubscriberId>(i);
+    auto& st = states_[i];
+    if (st.outage_remaining > 0) {
+      --st.outage_remaining;
+      if (st.outage_remaining == 0) {
+        // Reconnect: re-establish the lease by flushing the buffered
+        // samples through server-side checking before the strategy runs.
+        flush_buffer(s);
+      } else {
+        ++link_metrics_.net_lease_fallback_ticks;
+      }
+    } else if (channel_.outage_starts(s)) {
+      st.outage_remaining = channel_.outage_duration_ticks(s);
+      // Carrier loss voids the lease client-side: the client cannot ACK
+      // pushes any more, so it conservatively drops whatever grant it
+      // holds (synthetic revoke, drained at its next on_tick).
+      st.pending_synthetic.push_back(dynamics::InvalidationPush{});
+      ++link_metrics_.net_outages;
+      ++link_metrics_.net_lease_fallback_ticks;
+    }
+  }
+}
+
+void ClientLink::flush_buffer(alarms::SubscriberId s) {
+  auto& st = state(s);
+  for (const auto& r : st.buffer) {
+    ++st.uplink_seq;
+    server_.handle_buffered_update(s, r.position, r.tick);
+    // The flushed report still crosses the (now restored) faulty link.
+    reliable_exchange(s, /*uplink=*/true,
+                      wire::encoded_size(wire::PositionUpdate{}),
+                      link_metrics_);
+  }
+  st.buffer.clear();
+}
+
+void ClientLink::finish() {
+  if (!config_.faulty()) return;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    // An outage spanning the end of the run still flushes: a real client
+    // delivers its backlog on eventual reconnect, and the oracle's ground
+    // truth covers those ticks.
+    flush_buffer(static_cast<alarms::SubscriberId>(i));
+  }
+}
+
+}  // namespace salarm::net

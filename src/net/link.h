@@ -1,0 +1,149 @@
+// Reliable client<->server link: the protocol endpoint the strategies
+// program against (DESIGN.md §9).
+//
+// ClientLink interposes between the client half of a processing strategy
+// and a sim::ServerApi (monolithic Server or cluster::ShardedServer) and
+// runs the reliability protocol over a net::FaultyChannel:
+//
+//  * Uplink position reports carry per-session sequence numbers and are
+//    ACKed; a lost report or lost ACK triggers timeout + exponential-
+//    backoff retransmission until the server's ACK arrives. The server
+//    suppresses duplicate deliveries by sequence number (charged at
+//    sim::Server::kOpsPerDuplicateDrop each). Round trips are orders of
+//    magnitude shorter than the 1 s tick, so a connected client's exchange
+//    always completes within its tick.
+//  * Downlink grant responses (rect / pyramid / period / alarm list) are
+//    best-effort: a lost response simply leaves the client without a grant
+//    (request_* returns nullopt), and the client re-reports next tick —
+//    grants are self-healing, so retransmitting them buys nothing.
+//  * Invalidation pushes are leased: the server needs the client to ACK
+//    within the push's deadline. For a connected client the push is
+//    retransmitted until ACKed (reliable within the tick). When the client
+//    is in a burst outage the lease cannot be re-established: the client
+//    conservatively voids its grant the moment the carrier drops (modelled
+//    as a synthetic revoke) and buffers a position report every tick; on
+//    reconnect the buffered reports are flushed through server-side
+//    checking (ServerApi::handle_buffered_update) against the alarm set
+//    that was live at each report's original tick. Every uncovered tick is
+//    counted as net_lease_fallback_ticks.
+//
+// With the all-zero ChannelConfig (the default) the protocol is a provable
+// no-op, so the link is a pure pass-through: zero Rng draws, zero extra
+// metrics, bit-identical accounting to calling the server directly.
+//
+// Threading (sharded runs): per-subscriber protocol state is only ever
+// touched by the shard task processing that subscriber's tick, and all
+// outage/flush bookkeeping runs in the serial begin_tick phase, so the
+// link needs no locks and results are bit-identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/channel.h"
+#include "sim/server_api.h"
+
+namespace salarm::net {
+
+/// Client-side endpoint of the reliable link; one instance per run, shared
+/// by all subscribers (state is per-subscriber internally).
+class ClientLink {
+ public:
+  ClientLink(sim::ServerApi& server, const ChannelConfig& config,
+             std::uint64_t seed, std::size_t subscriber_count);
+
+  /// Serial per-tick bookkeeping: advances outage state machines, injects
+  /// synthetic revokes when a carrier drops, and flushes buffered reports
+  /// through the server when an outage ends. Must run after alarm churn is
+  /// applied and before any strategy processes the tick.
+  void begin_tick(std::uint64_t tick);
+
+  /// Serial end-of-run bookkeeping: flushes reports still buffered by
+  /// clients whose outage spans the end of the run, so no trigger is lost.
+  void finish();
+
+  /// Reliable position report. Connected: runs the sequence/ACK/
+  /// retransmission exchange and returns the alarms fired. In outage:
+  /// buffers (position, tick) for the reconnect flush and returns none.
+  std::vector<alarms::AlarmId> report(alarms::SubscriberId s,
+                                      geo::Point position, std::uint64_t tick);
+
+  /// Best-effort grant requests: nullopt when the client is disconnected
+  /// or the response is lost in flight. A client holding no grant reports
+  /// every tick, which is always sound.
+  std::optional<saferegion::RectSafeRegion> request_rect_region(
+      alarms::SubscriberId s, geo::Point position, double heading,
+      const saferegion::MotionModel& model,
+      const saferegion::MwpsrOptions& options);
+  std::optional<saferegion::RectSafeRegion> request_corner_baseline_region(
+      alarms::SubscriberId s, geo::Point position, double heading,
+      const saferegion::MotionModel& model);
+  std::optional<saferegion::PyramidBitmap> request_pyramid_region(
+      alarms::SubscriberId s, geo::Point position,
+      const saferegion::PyramidConfig& config);
+  std::optional<double> request_safe_period(alarms::SubscriberId s,
+                                            geo::Point position,
+                                            double max_speed_mps,
+                                            double tick_seconds);
+  std::optional<std::vector<const alarms::SpatialAlarm*>> request_alarms(
+      alarms::SubscriberId s, geo::Point position);
+
+  /// Invalidation delivery. Connected: drains the server mailbox and runs
+  /// the reliable push/ACK exchange per push. In outage: the server's
+  /// pushes stay queued (they cannot reach the client) and only the
+  /// synthetic carrier-loss revoke is delivered.
+  std::vector<dynamics::InvalidationPush> take_invalidations(
+      alarms::SubscriberId s);
+
+  void enable_public_bitmap_cache(const saferegion::PyramidConfig& config);
+  const grid::GridOverlay& grid() const { return server_.grid(); }
+  /// Metrics object for client-side work of the subscriber currently being
+  /// processed (forwards to the server, i.e. per-shard on sharded runs).
+  sim::Metrics& metrics() { return server_.metrics(); }
+
+  /// Protocol overhead charged in the serial phases (outage bookkeeping,
+  /// reconnect flushes); merged into the run result by sim::Simulation.
+  const sim::Metrics& link_metrics() const { return link_metrics_; }
+
+  bool faulty() const { return config_.faulty(); }
+  /// Test introspection: whether the subscriber is currently disconnected.
+  bool in_outage(alarms::SubscriberId s) const;
+  /// Test introspection: next uplink sequence number of the subscriber.
+  std::uint32_t uplink_seq(alarms::SubscriberId s) const;
+
+ private:
+  struct BufferedReport {
+    geo::Point position;
+    std::uint64_t tick = 0;
+  };
+  struct SubscriberState {
+    std::uint32_t uplink_seq = 0;      ///< next report sequence number
+    std::uint32_t downlink_seq = 0;    ///< next expected push sequence
+    std::uint64_t outage_remaining = 0;  ///< ticks of outage left (0 = up)
+    std::vector<BufferedReport> buffer;  ///< reports pending reconnect flush
+    std::vector<dynamics::InvalidationPush> pending_synthetic;
+  };
+
+  SubscriberState& state(alarms::SubscriberId s);
+  const SubscriberState& state(alarms::SubscriberId s) const;
+
+  /// Runs one reliable exchange (message + ACK with retransmission) and
+  /// charges its overhead to `m`: retransmitted payload bytes, ACK
+  /// traffic, duplicate suppressions and the delivery-latency sample.
+  /// Returns the number of transmission attempts (1 on a clean exchange).
+  std::uint64_t reliable_exchange(alarms::SubscriberId s, bool uplink,
+                                  std::size_t payload_bytes, sim::Metrics& m);
+
+  /// Flushes a subscriber's buffered reports through server-side checking
+  /// at reconnect (or end of run). Serial phase only.
+  void flush_buffer(alarms::SubscriberId s);
+
+  sim::ServerApi& server_;
+  ChannelConfig config_;
+  FaultyChannel channel_;
+  std::vector<SubscriberState> states_;
+  sim::Metrics link_metrics_;
+};
+
+}  // namespace salarm::net

@@ -121,13 +121,14 @@ constexpr std::size_t kRectBytes = 4 * 8;
 }  // namespace
 
 // --------------------------------------------------------------------------
-// PositionUpdate: type(1) subscriber(4) x(8) y(8) time(8) = 29 bytes
+// PositionUpdate: type(1) subscriber(4) seq(4) x(8) y(8) time(8) = 33 bytes
 // --------------------------------------------------------------------------
 
 std::vector<std::uint8_t> encode(const PositionUpdate& m) {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(MessageType::kPositionUpdate));
   w.u32(m.subscriber);
+  w.u32(m.seq);
   w.f64(m.position.x);
   w.f64(m.position.y);
   w.f64(m.time_s);
@@ -139,6 +140,7 @@ PositionUpdate decode_position_update(std::span<const std::uint8_t> bytes) {
   check_type(r, MessageType::kPositionUpdate);
   PositionUpdate m;
   m.subscriber = r.u32();
+  m.seq = r.u32();
   m.position.x = r.f64();
   m.position.y = r.f64();
   m.time_s = r.f64();
@@ -146,7 +148,7 @@ PositionUpdate decode_position_update(std::span<const std::uint8_t> bytes) {
   return m;
 }
 
-std::size_t encoded_size(const PositionUpdate&) { return 1 + 4 + 3 * 8; }
+std::size_t encoded_size(const PositionUpdate&) { return 1 + 4 + 4 + 3 * 8; }
 
 // --------------------------------------------------------------------------
 // RectSafeRegionMsg: type(1) rect(32) = 33 bytes
@@ -340,14 +342,15 @@ std::size_t trigger_notice_size(std::size_t message_bytes) {
 }
 
 // --------------------------------------------------------------------------
-// InvalidationMsg: type(1) action(1) alarm(4) rect(32) len(2) message
-//                  = 40+len bytes
+// InvalidationMsg: type(1) action(1) seq(4) alarm(4) rect(32) len(2)
+//                  message = 44+len bytes
 // --------------------------------------------------------------------------
 
 std::vector<std::uint8_t> encode(const InvalidationMsg& m) {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(MessageType::kInvalidation));
   w.u8(m.action);
+  w.u32(m.seq);
   w.u32(m.alarm);
   write_rect(w, m.region);
   write_string(w, m.message);
@@ -360,6 +363,7 @@ InvalidationMsg decode_invalidation(std::span<const std::uint8_t> bytes) {
   InvalidationMsg m;
   m.action = r.u8();
   SALARM_REQUIRE(m.action <= 2, "unknown invalidation action");
+  m.seq = r.u32();
   m.alarm = r.u32();
   m.region = read_rect(r);
   m.message = read_string(r);
@@ -372,16 +376,40 @@ std::size_t encoded_size(const InvalidationMsg& m) {
 }
 
 std::size_t invalidation_message_size(std::size_t message_bytes) {
-  return 1 + 1 + 4 + kRectBytes + 2 + message_bytes;
+  return 1 + 1 + 4 + 4 + kRectBytes + 2 + message_bytes;
 }
 
 // --------------------------------------------------------------------------
-// ShardHandoff: type(1) subscriber(4) position(16) time(8) count(4)
-//               spent alarm ids(4 each)
+// AckMsg: type(1) subscriber(4) seq(4) = 9 bytes
+// --------------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const AckMsg& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kAck));
+  w.u32(m.subscriber);
+  w.u32(m.seq);
+  return std::move(w).take();
+}
+
+AckMsg decode_ack(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  check_type(r, MessageType::kAck);
+  AckMsg m;
+  m.subscriber = r.u32();
+  m.seq = r.u32();
+  r.expect_done();
+  return m;
+}
+
+std::size_t ack_message_size() { return 1 + 4 + 4; }
+
+// --------------------------------------------------------------------------
+// ShardHandoff: type(1) subscriber(4) position(16) time(8) uplink seq(4)
+//               downlink seq(4) lease flag(1) count(4) spent ids(4 each)
 // --------------------------------------------------------------------------
 
 std::size_t handoff_message_size(std::size_t spent_alarms) {
-  return 1 + 4 + 16 + 8 + 4 + spent_alarms * 4;
+  return 1 + 4 + 16 + 8 + 4 + 4 + 1 + 4 + spent_alarms * 4;
 }
 
 }  // namespace salarm::wire

@@ -33,13 +33,17 @@ enum class MessageType : std::uint8_t {
   kTriggerNotice = 6,    ///< server -> client (all strategies)
   kShardHandoff = 7,     ///< shard -> shard (cluster session transfer)
   kInvalidation = 8,     ///< server -> client (grant invalidation push)
+  kAck = 9,              ///< either direction (reliability protocol)
 };
 
-/// Client position report.
+/// Client position report. `seq` is the per-session uplink sequence number
+/// (DESIGN.md §9): the server ACKs it and suppresses duplicate deliveries,
+/// and reordered reports are re-sequenced by it.
 struct PositionUpdate {
   alarms::SubscriberId subscriber = 0;
   geo::Point position;
   double time_s = 0.0;
+  std::uint32_t seq = 0;
 };
 
 /// Rectangular safe region (MWPSR).
@@ -91,9 +95,20 @@ struct TriggerNoticeMsg {
 /// evaluation; `region` + `message` describe the new alarm).
 struct InvalidationMsg {
   std::uint8_t action = 0;  ///< dynamics::InvalidationAction
+  /// Per-session downlink sequence number (DESIGN.md §9): pushes are
+  /// leased — retransmitted until ACKed — so the client needs it to
+  /// suppress duplicates and restore the order of reordered copies.
+  std::uint32_t seq = 0;
   alarms::AlarmId alarm = 0;
   geo::Rect region{geo::Point{}, geo::Point{}};
   std::string message;  ///< alarm content; alarm-add pushes only
+};
+
+/// Reliability-protocol acknowledgement (either direction): confirms
+/// receipt of the message carrying `seq` for the given session.
+struct AckMsg {
+  alarms::SubscriberId subscriber = 0;
+  std::uint32_t seq = 0;
 };
 
 // Encoders return the full message bytes (type byte included); decoders
@@ -105,6 +120,7 @@ std::vector<std::uint8_t> encode(const AlarmPushMsg& m);
 std::vector<std::uint8_t> encode(const SafePeriodMsg& m);
 std::vector<std::uint8_t> encode(const TriggerNoticeMsg& m);
 std::vector<std::uint8_t> encode(const InvalidationMsg& m);
+std::vector<std::uint8_t> encode(const AckMsg& m);
 
 PositionUpdate decode_position_update(std::span<const std::uint8_t> bytes);
 RectSafeRegionMsg decode_rect_safe_region(std::span<const std::uint8_t> bytes);
@@ -114,6 +130,7 @@ AlarmPushMsg decode_alarm_push(std::span<const std::uint8_t> bytes);
 SafePeriodMsg decode_safe_period(std::span<const std::uint8_t> bytes);
 TriggerNoticeMsg decode_trigger_notice(std::span<const std::uint8_t> bytes);
 InvalidationMsg decode_invalidation(std::span<const std::uint8_t> bytes);
+AckMsg decode_ack(std::span<const std::uint8_t> bytes);
 
 /// Exact encoded sizes, for the accounting paths that do not materialize
 /// bytes (hot simulation loops).
@@ -144,9 +161,15 @@ std::size_t rect_message_size();
 /// (zero for revoke/shrink pushes, which carry no alert content).
 std::size_t invalidation_message_size(std::size_t message_bytes);
 
+/// Size of a reliability-protocol ACK (constant).
+std::size_t ack_message_size();
+
 /// Size of an inter-shard session handoff carrying the subscriber id, its
-/// last position/time and the ids of `spent_alarms` already-fired alarms
-/// (cluster tier; counted, never materialized on the simulation hot path).
+/// last position/time, the ids of `spent_alarms` already-fired alarms and
+/// the reliability-protocol session state — uplink/downlink sequence
+/// numbers and the lease flag — that must move with the session so faults
+/// replay identically across a shard crossing (cluster tier; counted,
+/// never materialized on the simulation hot path).
 std::size_t handoff_message_size(std::size_t spent_alarms);
 
 }  // namespace salarm::wire

@@ -40,13 +40,27 @@ struct CostModel {
   }
 
   /// Client radio energy (transmissions + received safe-region payloads +
-  /// invalidation pushes), reported alongside but not part of the paper's
-  /// figures.
+  /// invalidation pushes + reliability-protocol ACKs), reported alongside
+  /// but not part of the paper's figures. Retransmissions are already
+  /// folded into uplink_messages / invalidation_bytes by net::ClientLink,
+  /// so a lossy channel inflates this figure as it should; ACKs the client
+  /// receives are priced per byte (ACKs it *sends* piggyback on the radio
+  /// session of the message they acknowledge, so they carry no extra
+  /// per-message transmit surcharge).
   double client_radio_mwh(const Metrics& m) const {
     return tx_mwh_per_message * static_cast<double>(m.uplink_messages) +
            rx_mwh_per_byte * static_cast<double>(m.downstream_region_bytes +
                                                  m.downstream_notice_bytes +
-                                                 m.invalidation_bytes);
+                                                 m.invalidation_bytes +
+                                                 m.net_ack_bytes);
+  }
+
+  /// Radio energy attributable to the fault-tolerance machinery alone, in
+  /// mWh: payload retransmissions plus ACK reception. Zero on a perfect
+  /// channel — the protocol is free when nothing is lost.
+  double net_overhead_mwh(const Metrics& m) const {
+    return tx_mwh_per_message * static_cast<double>(m.net_retransmissions) +
+           rx_mwh_per_byte * static_cast<double>(m.net_ack_bytes);
   }
 
   /// Downstream bandwidth of the invalidation protocol alone, in Mbps —

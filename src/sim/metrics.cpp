@@ -19,6 +19,14 @@ void Metrics::merge(const Metrics& other) {
   alarms_removed += other.alarms_removed;
   invalidation_pushes += other.invalidation_pushes;
   invalidation_bytes += other.invalidation_bytes;
+  net_retransmissions += other.net_retransmissions;
+  net_duplicates_dropped += other.net_duplicates_dropped;
+  net_ack_messages += other.net_ack_messages;
+  net_ack_bytes += other.net_ack_bytes;
+  net_lease_fallback_ticks += other.net_lease_fallback_ticks;
+  net_buffered_reports += other.net_buffered_reports;
+  net_outages += other.net_outages;
+  net_delivery_latency_ms.merge(other.net_delivery_latency_ms);
   safe_region_recomputes += other.safe_region_recomputes;
   triggers += other.triggers;
   region_payload_bytes.merge(other.region_payload_bytes);
@@ -38,6 +46,13 @@ std::string Metrics::to_string() const {
      << " alarms_removed=" << alarms_removed
      << " invalidation_pushes=" << invalidation_pushes
      << " invalidation_bytes=" << invalidation_bytes
+     << " net_retransmissions=" << net_retransmissions
+     << " net_duplicates_dropped=" << net_duplicates_dropped
+     << " net_ack_messages=" << net_ack_messages
+     << " net_ack_bytes=" << net_ack_bytes
+     << " net_lease_fallback_ticks=" << net_lease_fallback_ticks
+     << " net_buffered_reports=" << net_buffered_reports
+     << " net_outages=" << net_outages
      << " recomputes=" << safe_region_recomputes
      << " triggers=" << triggers;
   return os.str();

@@ -62,6 +62,29 @@ struct Metrics {
   std::uint64_t invalidation_pushes = 0;
   std::uint64_t invalidation_bytes = 0;
 
+  // ---- Net tier (unreliable channel; zero on perfect-channel runs) ----
+  /// Payload retransmissions of the reliability protocol (reports and
+  /// invalidation pushes re-sent after a lost copy or lost ACK). The
+  /// retransmitted payload bytes are *also* added to the uplink /
+  /// invalidation byte counters so bandwidth and energy stay honest.
+  std::uint64_t net_retransmissions = 0;
+  /// Received copies suppressed by the sequence-number window (network
+  /// duplicates and retransmitted copies whose original also arrived).
+  std::uint64_t net_duplicates_dropped = 0;
+  /// Reliability-protocol ACK traffic, counted apart from uplink_messages
+  /// so the paper's message figures stay comparable across strategies.
+  std::uint64_t net_ack_messages = 0;
+  std::uint64_t net_ack_bytes = 0;
+  /// Ticks a subscriber spent with its lease down (burst outage): grants
+  /// voided, reports buffered for server-side checking at reconnect.
+  std::uint64_t net_lease_fallback_ticks = 0;
+  /// Position samples buffered during outages and flushed at reconnect.
+  std::uint64_t net_buffered_reports = 0;
+  /// Burst outages started.
+  std::uint64_t net_outages = 0;
+  /// Per-exchange delivery latency (ms): backoff waits plus one-way flight.
+  RunningStat net_delivery_latency_ms;
+
   // ---- Outcomes ----
   std::uint64_t safe_region_recomputes = 0;
   std::uint64_t triggers = 0;

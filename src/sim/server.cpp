@@ -44,6 +44,48 @@ std::vector<alarms::AlarmId> Server::handle_position_update(
   return fired;
 }
 
+std::vector<alarms::AlarmId> Server::handle_buffered_update(
+    alarms::SubscriberId s, geo::Point position, std::uint64_t stamp_tick) {
+  ++metrics_.uplink_messages;
+  metrics_.uplink_bytes += wire::encoded_size(wire::PositionUpdate{});
+  metrics_.server_alarm_ops += kOpsPerUpdateOverhead;
+  // Live index, restricted to alarms already installed at the stamp.
+  // Without churn the filter accepts everything and this is exactly
+  // handle_position_update.
+  auto fired = charged(&Metrics::server_alarm_ops, [&] {
+    return store_.process_position(
+        s, position, stamp_tick, &trigger_log_, [&](alarms::AlarmId id) {
+          const auto it = installed_at_.find(id);
+          return it == installed_at_.end() || it->second <= stamp_tick;
+        });
+  });
+  // Removal graveyard: alarms live at the stamp but uninstalled since.
+  // Spent state is shared with the live store, so an alarm that fired
+  // before its removal does not fire again here (and vice versa).
+  metrics_.server_alarm_ops += graveyard_.size();
+  for (const Tomb& tomb : graveyard_) {
+    if (stamp_tick < tomb.installed_at || stamp_tick >= tomb.removed_at) {
+      continue;
+    }
+    if (!tomb.alarm.region.interior_contains(position)) continue;
+    if (!alarms::AlarmStore::subscribed(tomb.alarm, s)) continue;
+    if (store_.spent(tomb.alarm.id, s)) continue;
+    store_.mark_spent(tomb.alarm.id, s);
+    trigger_log_.push_back({tomb.alarm.id, s, stamp_tick});
+    fired.push_back(tomb.alarm.id);
+    metrics_.downstream_notice_bytes +=
+        wire::trigger_notice_size(tomb.alarm.message.size());
+  }
+  metrics_.triggers += fired.size();
+  for (const alarms::AlarmId id : fired) {
+    if (store_.installed(id)) {
+      metrics_.downstream_notice_bytes +=
+          wire::trigger_notice_size(store_.alarm(id).message.size());
+    }
+  }
+  return fired;
+}
+
 saferegion::RectSafeRegion Server::compute_rect_region(
     alarms::SubscriberId s, geo::Point position, double heading,
     const saferegion::MotionModel& model,
@@ -266,12 +308,14 @@ void Server::push_invalidation(alarms::SubscriberId s,
   mailboxes_[s].push_back(std::move(push));
 }
 
-void Server::install_alarm(const alarms::SpatialAlarm& alarm) {
+void Server::install_alarm(const alarms::SpatialAlarm& alarm,
+                           std::uint64_t tick) {
   SALARM_REQUIRE(dynamics_enabled_, "dynamics tier not enabled");
   charged(&Metrics::server_alarm_ops, [&] {
     store_.install(alarm);
     return 0;
   });
+  installed_at_[alarm.id] = tick;
   metrics_.server_alarm_ops += kOpsPerUpdateOverhead;
   ++metrics_.alarms_installed;
   // Use the admitted copy from here on: install normalizes (sorts) the
@@ -306,12 +350,20 @@ void Server::install_alarm(const alarms::SpatialAlarm& alarm) {
   }
 }
 
-bool Server::remove_alarm(alarms::AlarmId id) {
+bool Server::remove_alarm(alarms::AlarmId id, std::uint64_t tick) {
   SALARM_REQUIRE(dynamics_enabled_, "dynamics tier not enabled");
+  std::optional<Tomb> tomb;
+  if (store_.installed(id)) {
+    const auto it = installed_at_.find(id);
+    const std::uint64_t born = it == installed_at_.end() ? 0 : it->second;
+    tomb = Tomb{store_.alarm(id), born, tick};
+  }
   const bool removed = charged(&Metrics::server_alarm_ops, [&] {
     return store_.uninstall(id);
   });
   if (removed) {
+    graveyard_.push_back(std::move(*tomb));
+    installed_at_.erase(id);
     metrics_.server_alarm_ops += kOpsPerUpdateOverhead;
     ++metrics_.alarms_removed;
   }

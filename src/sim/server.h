@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "alarms/alarm_store.h"
@@ -30,9 +31,15 @@ namespace salarm::sim {
 /// rectangle comparison; an R*-tree node access scans up to a node's
 /// capacity of entries and is charged accordingly; every received position
 /// update carries fixed handling overhead (parse, session lookup, dispatch)
-/// regardless of what it hits in the index.
+/// regardless of what it hits in the index. A duplicate report suppressed
+/// by the reliability protocol (net tier, DESIGN.md §9) is cheaper than a
+/// processed one — parse, session lookup and one sequence-window
+/// comparison, no index work — but it is real server load and must not
+/// vanish from the cost model: retransmitted copies are charged at
+/// kOpsPerDuplicateDrop each by net::ClientLink.
 inline constexpr std::uint64_t kOpsPerNodeAccess = 16;
 inline constexpr std::uint64_t kOpsPerUpdateOverhead = 25;
+inline constexpr std::uint64_t kOpsPerDuplicateDrop = 5;
 
 class Server final : public ServerApi {
  public:
@@ -47,6 +54,15 @@ class Server final : public ServerApi {
   std::vector<alarms::AlarmId> handle_position_update(
       alarms::SubscriberId s, geo::Point position,
       std::uint64_t tick) override;
+
+  /// Temporal evaluation of an outage-buffered report (DESIGN.md §9): the
+  /// live index is consulted under an installed-at-stamp filter, and the
+  /// removal graveyard is scanned for alarms that were live at the stamp
+  /// but have since been uninstalled. On a static run both mechanisms
+  /// degenerate to plain alarm processing.
+  std::vector<alarms::AlarmId> handle_buffered_update(
+      alarms::SubscriberId s, geo::Point position,
+      std::uint64_t stamp_tick) override;
 
   /// Computes a rectangular (MWPSR) safe region for the subscriber at the
   /// given position/heading and charges its wire size downstream.
@@ -106,15 +122,20 @@ class Server final : public ServerApi {
   void enable_dynamics(std::size_t subscriber_count);
   bool dynamics_enabled() const { return dynamics_enabled_; }
 
-  /// Installs an alarm online and invalidates every outstanding grant the
-  /// alarm's region (closed) intersects, for subscribers the alarm applies
-  /// to. Requires enable_dynamics.
-  void install_alarm(const alarms::SpatialAlarm& alarm);
+  /// Installs an alarm online at the given tick and invalidates every
+  /// outstanding grant the alarm's region (closed) intersects, for
+  /// subscribers the alarm applies to. The install tick is recorded so
+  /// outage-buffered reports stamped earlier are not evaluated against it.
+  /// Requires enable_dynamics.
+  void install_alarm(const alarms::SpatialAlarm& alarm, std::uint64_t tick);
 
-  /// Removes an alarm online; outstanding grants stay sound (they are
-  /// merely smaller than necessary) and re-widen at the client's next
-  /// natural refresh, so no pushes are sent. Returns false if absent.
-  bool remove_alarm(alarms::AlarmId id);
+  /// Removes an alarm online at the given tick; outstanding grants stay
+  /// sound (they are merely smaller than necessary) and re-widen at the
+  /// client's next natural refresh, so no pushes are sent. The alarm moves
+  /// to the removal graveyard with its [installed, removed) lifetime so
+  /// outage-buffered reports stamped inside the lifetime can still fire
+  /// it. Returns false if absent.
+  bool remove_alarm(alarms::AlarmId id, std::uint64_t tick);
 
   std::vector<dynamics::InvalidationPush> take_invalidations(
       alarms::SubscriberId s) override;
@@ -156,6 +177,19 @@ class Server final : public ServerApi {
   bool dynamics_enabled_ = false;
   dynamics::SessionIndex sessions_;
   std::vector<std::vector<dynamics::InvalidationPush>> mailboxes_;
+
+  /// Temporal alarm-lifetime bookkeeping for outage-buffered reports
+  /// (DESIGN.md §9). Alarms absent from installed_at_ were loaded at run
+  /// start (tick 0). The graveyard keeps a copy of every online-removed
+  /// alarm with its lifetime; it is scanned linearly (one elementary op
+  /// per tomb) only on the rare buffered-report path.
+  struct Tomb {
+    alarms::SpatialAlarm alarm;
+    std::uint64_t installed_at = 0;
+    std::uint64_t removed_at = 0;
+  };
+  std::unordered_map<alarms::AlarmId, std::uint64_t> installed_at_;
+  std::vector<Tomb> graveyard_;
 
   struct PublicCacheEntry {
     saferegion::PyramidBitmap bitmap;

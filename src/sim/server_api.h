@@ -32,6 +32,18 @@ class ServerApi {
   virtual std::vector<alarms::AlarmId> handle_position_update(
       alarms::SubscriberId s, geo::Point position, std::uint64_t tick) = 0;
 
+  /// Handles a position report that was buffered client-side during a
+  /// channel outage and delivered late (net tier, DESIGN.md §9). The
+  /// report is stamped with its original tick and must be evaluated
+  /// against the alarm set that was live *then*: alarms installed after
+  /// the stamp are skipped, alarms removed since the stamp but live at it
+  /// still fire (served from the removal graveyard). Trigger events carry
+  /// the stamp tick, so the oracle comparison stays exact. Serial phase
+  /// only on sharded servers (resolves its own shard from the position).
+  virtual std::vector<alarms::AlarmId> handle_buffered_update(
+      alarms::SubscriberId s, geo::Point position,
+      std::uint64_t stamp_tick) = 0;
+
   /// Computes a rectangular (MWPSR) safe region for the subscriber at the
   /// given position/heading and charges its wire size downstream.
   virtual saferegion::RectSafeRegion compute_rect_region(

@@ -58,6 +58,18 @@ const dynamics::AlarmScheduler& Simulation::churn_scheduler() const {
   return *scheduler_;
 }
 
+void Simulation::set_channel(const net::ChannelConfig& config,
+                             std::uint64_t seed) {
+  // Validate eagerly (FaultyChannel's preconditions) so a bad sweep config
+  // fails at setup, not mid-run.
+  net::FaultyChannel probe(config, seed, 1);
+  (void)probe;
+  channel_config_ = config;
+  channel_seed_ = seed;
+  // The oracle is channel-independent: faults change the protocol work, not
+  // the ground truth, so the cached oracle stays valid on purpose.
+}
+
 void Simulation::rewind_store() {
   if (!scheduler_.has_value()) return;
   store_.clear();
@@ -97,7 +109,9 @@ RunResult Simulation::run(const StrategyFactory& factory) {
     server.enable_dynamics(source_.vehicle_count());
     scheduler_->reset();
   }
-  const auto strategy = factory(server);
+  net::ClientLink link(server, channel_config_, channel_seed_,
+                       source_.vehicle_count());
+  const auto strategy = factory(link);
   result.strategy = std::string(strategy->name());
 
   const auto start = std::chrono::steady_clock::now();
@@ -109,17 +123,24 @@ RunResult Simulation::run(const StrategyFactory& factory) {
     // Serial churn phase: the server installs/removes alarms and queues
     // invalidation pushes before any subscriber of tick t is processed.
     apply_churn(
-        t, [&](const alarms::SpatialAlarm& a) { server.install_alarm(a); },
-        [&](alarms::AlarmId id) { (void)server.remove_alarm(id); });
+        t, [&](const alarms::SpatialAlarm& a) { server.install_alarm(a, t); },
+        [&](alarms::AlarmId id) { (void)server.remove_alarm(id, t); });
+    // Serial channel phase: outage bookkeeping and reconnect flushes see
+    // the post-churn alarm state of tick t (no-op on a perfect channel).
+    link.begin_tick(t);
     const auto& samples = source_.samples();
     for (mobility::VehicleId v = 0; v < samples.size(); ++v) {
       strategy->on_tick(v, samples[v], t);
     }
   }
+  // Clients still in outage at the end of the trace flush their buffered
+  // reports before the run is scored.
+  link.finish();
   const auto end = std::chrono::steady_clock::now();
   result.wall_seconds =
       std::chrono::duration<double>(end - start).count();
 
+  result.metrics.merge(link.link_metrics());
   result.trigger_log = server.trigger_log();
   std::sort(result.trigger_log.begin(), result.trigger_log.end());
   result.accuracy = compare_triggers(expected, result.trigger_log);
@@ -147,7 +168,9 @@ RunResult Simulation::run_sharded(const StrategyFactory& factory,
     server.enable_dynamics(source_.vehicle_count());
     scheduler_->reset();
   }
-  const auto strategy = factory(server);
+  net::ClientLink link(server, channel_config_, channel_seed_,
+                       source_.vehicle_count());
+  const auto strategy = factory(link);
   result.strategy = std::string(strategy->name());
 
   cluster::ParallelTickExecutor executor(options.threads);
@@ -188,17 +211,24 @@ RunResult Simulation::run_sharded(const StrategyFactory& factory,
     // every extent-intersecting shard and queue invalidation pushes before
     // any worker thread starts on tick t.
     apply_churn(
-        t, [&](const alarms::SpatialAlarm& a) { server.install_alarm(a); },
-        [&](alarms::AlarmId id) { (void)server.remove_alarm(id); });
+        t, [&](const alarms::SpatialAlarm& a) { server.install_alarm(a, t); },
+        [&](alarms::AlarmId id) { (void)server.remove_alarm(id, t); });
+    // Serial channel phase between parallel ticks: outage state machines
+    // advance and reconnect flushes run before any worker thread starts.
+    // Per-subscriber fault streams make the in-tick draws independent of
+    // the thread count, so results stay bit-identical.
+    link.begin_tick(t);
     fan_out(
         [&](mobility::VehicleId v, const mobility::VehicleSample& sample) {
           strategy->on_tick(v, sample, t);
         });
   }
+  link.finish();
   const auto end = std::chrono::steady_clock::now();
   result.wall_seconds = std::chrono::duration<double>(end - start).count();
 
   result.metrics = server.merged_metrics();
+  result.metrics.merge(link.link_metrics());
   result.trigger_log = server.merged_trigger_log();
   result.accuracy = compare_triggers(expected, result.trigger_log);
   store_.reset_triggers();

@@ -17,6 +17,8 @@
 #include "dynamics/churn.h"
 #include "grid/grid_overlay.h"
 #include "mobility/position_source.h"
+#include "net/channel.h"
+#include "net/link.h"
 #include "sim/metrics.h"
 #include "sim/oracle.h"
 #include "sim/server.h"
@@ -57,11 +59,13 @@ class Simulation {
   Simulation(mobility::PositionSource& source, alarms::AlarmStore& store,
              const grid::GridOverlay& grid, std::size_t ticks);
 
-  /// Builds a strategy against the given server; called once per run. The
-  /// same factory drives both run modes — strategies are written against
-  /// ServerApi and cannot tell a monolithic server from a cluster.
+  /// Builds a strategy against the given client link; called once per run.
+  /// The same factory drives both run modes — strategies are written
+  /// against net::ClientLink, which wraps either server implementation
+  /// behind the reliability protocol, so they cannot tell a monolithic
+  /// server from a cluster, nor a perfect channel from a faulty one.
   using StrategyFactory = std::function<
-      std::unique_ptr<strategies::ProcessingStrategy>(ServerApi&)>;
+      std::unique_ptr<strategies::ProcessingStrategy>(net::ClientLink&)>;
 
   /// Replays the trace from the start under a fresh strategy instance and
   /// returns its metrics and accuracy against the oracle.
@@ -86,6 +90,16 @@ class Simulation {
   /// the oracle replay the identical timeline; the store is rewound to the
   /// snapshot at the start of each replay, so runs stay independent.
   void set_churn(const dynamics::ChurnConfig& config, std::uint64_t seed);
+
+  /// Routes every subsequent run through a fault-injecting channel
+  /// (DESIGN.md §9): loss, delay, duplication and burst outages per
+  /// ChannelConfig, seeded deterministically. Faults never change the
+  /// ground truth — the oracle stays valid — only the protocol work
+  /// needed to preserve it. The all-zero config restores the perfect
+  /// pass-through link.
+  void set_channel(const net::ChannelConfig& config, std::uint64_t seed);
+
+  const net::ChannelConfig& channel_config() const { return channel_config_; }
 
   bool churn_enabled() const { return scheduler_.has_value(); }
   /// The precomputed churn timeline; only valid after set_churn.
@@ -114,6 +128,8 @@ class Simulation {
   std::optional<std::vector<alarms::TriggerEvent>> oracle_;
   std::optional<dynamics::AlarmScheduler> scheduler_;
   std::vector<alarms::SpatialAlarm> initial_alarms_;
+  net::ChannelConfig channel_config_{};
+  std::uint64_t channel_seed_ = 0;
 };
 
 }  // namespace salarm::sim

@@ -4,33 +4,26 @@
 
 namespace salarm::strategies {
 
-BitmapRegionStrategy::BitmapRegionStrategy(sim::ServerApi& server,
+BitmapRegionStrategy::BitmapRegionStrategy(net::ClientLink& link,
                                            std::size_t subscriber_count,
                                            saferegion::PyramidConfig config,
                                            bool use_public_cache)
-    : server_(server), config_(config), bitmaps_(subscriber_count) {
-  if (use_public_cache) server_.enable_public_bitmap_cache(config);
-}
-
-void BitmapRegionStrategy::set_downstream_loss(double rate,
-                                               std::uint64_t seed) {
-  SALARM_REQUIRE(rate >= 0.0 && rate < 1.0, "loss rate must be in [0, 1)");
-  downstream_loss_ = rate;
-  loss_rng_.emplace(seed);
+    : link_(link), config_(config), bitmaps_(subscriber_count) {
+  if (use_public_cache) link_.enable_public_bitmap_cache(config);
 }
 
 void BitmapRegionStrategy::refresh(alarms::SubscriberId s,
                                    geo::Point position) {
-  auto bitmap = server_.compute_pyramid_region(s, position, config_);
-  // Injected downstream loss: the client keeps its previous (still sound)
-  // bitmap — or none — and will report again next tick.
-  if (downstream_loss_ > 0.0 && loss_rng_->chance(downstream_loss_)) return;
-  bitmaps_[s] = std::move(bitmap);
+  auto bitmap = link_.request_pyramid_region(s, position, config_);
+  // nullopt: the response was lost or the client is in an outage. The
+  // previous (still sound) bitmap — or none — stays in place, and the
+  // client reports again next tick.
+  if (bitmap.has_value()) bitmaps_[s] = std::move(*bitmap);
 }
 
 void BitmapRegionStrategy::initialize(alarms::SubscriberId s,
                                       const mobility::VehicleSample& sample) {
-  (void)server_.handle_position_update(s, sample.pos, 0);
+  (void)link_.report(s, sample.pos, 0);
   refresh(s, sample.pos);
 }
 
@@ -38,13 +31,19 @@ void BitmapRegionStrategy::on_tick(alarms::SubscriberId s,
                                    const mobility::VehicleSample& sample,
                                    std::uint64_t tick) {
   auto& bitmap = bitmaps_[s];
-  auto& metrics = server_.metrics();
+  auto& metrics = link_.metrics();
 
-  // Invalidation pushes (dynamics tier): conservatively mark the new
-  // alarm's region unsafe in the held bitmap before the descent below.
-  for (const auto& push : server_.take_invalidations(s)) {
+  // Invalidation pushes: an install shrink conservatively marks the new
+  // alarm's region unsafe in the held bitmap before the descent below; a
+  // revoke (carrier loss, net tier) voids the bitmap outright.
+  for (const auto& push : link_.take_invalidations(s)) {
     ++metrics.client_check_ops;
-    if (bitmap.has_value()) bitmap->mark_unsafe(push.region);
+    if (!bitmap.has_value()) continue;
+    if (push.action == dynamics::InvalidationAction::kShrink) {
+      bitmap->mark_unsafe(push.region);
+    } else {
+      bitmap.reset();
+    }
   }
 
   // Base-cell exit: report and fetch the new cell's bitmap. The cell
@@ -52,7 +51,7 @@ void BitmapRegionStrategy::on_tick(alarms::SubscriberId s,
   ++metrics.client_checks;
   ++metrics.client_check_ops;
   if (!bitmap.has_value() || !bitmap->cell().contains(sample.pos)) {
-    (void)server_.handle_position_update(s, sample.pos, tick);
+    (void)link_.report(s, sample.pos, tick);
     refresh(s, sample.pos);
     return;
   }
@@ -64,7 +63,7 @@ void BitmapRegionStrategy::on_tick(alarms::SubscriberId s,
 
   // Outside the safe region but inside the base cell: report so the server
   // evaluates alarms. Only an actual trigger changes the safe region.
-  const auto fired = server_.handle_position_update(s, sample.pos, tick);
+  const auto fired = link_.report(s, sample.pos, tick);
   if (!fired.empty()) refresh(s, sample.pos);
 }
 

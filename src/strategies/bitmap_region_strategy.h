@@ -14,13 +14,15 @@
 //    bitmap "by considering the triggered alarm to be a part of the safe
 //    region" and ships the (now more permissive) bitmap.
 //
-// GBSR is this strategy with PyramidConfig::height = 1.
+// GBSR is this strategy with PyramidConfig::height = 1. Fault tolerance
+// (DESIGN.md §9): a lost bitmap response leaves the previous — still sound
+// — bitmap in place, or none, in which case the client reports every tick;
+// a revoke push (carrier loss) drops the bitmap outright.
 #pragma once
 
 #include <optional>
 #include <vector>
 
-#include "common/rng.h"
 #include "saferegion/pyramid.h"
 #include "strategies/strategy.h"
 
@@ -30,7 +32,7 @@ class BitmapRegionStrategy final : public ProcessingStrategy {
  public:
   /// `use_public_cache` enables the server's precomputed public-alarm
   /// bitmap path (paper §4.2).
-  BitmapRegionStrategy(sim::ServerApi& server, std::size_t subscriber_count,
+  BitmapRegionStrategy(net::ClientLink& link, std::size_t subscriber_count,
                        saferegion::PyramidConfig config,
                        bool use_public_cache = false);
 
@@ -43,18 +45,12 @@ class BitmapRegionStrategy final : public ProcessingStrategy {
   void on_tick(alarms::SubscriberId s, const mobility::VehicleSample& sample,
                std::uint64_t tick) override;
 
-  /// Failure injection: drop this fraction of downstream bitmap messages
-  /// (see RectRegionStrategy::set_downstream_loss).
-  void set_downstream_loss(double rate, std::uint64_t seed);
-
  private:
   void refresh(alarms::SubscriberId s, geo::Point position);
 
-  sim::ServerApi& server_;
+  net::ClientLink& link_;
   saferegion::PyramidConfig config_;
   std::vector<std::optional<saferegion::PyramidBitmap>> bitmaps_;
-  double downstream_loss_ = 0.0;
-  std::optional<Rng> loss_rng_;
 };
 
 }  // namespace salarm::strategies

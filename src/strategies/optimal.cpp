@@ -4,15 +4,23 @@
 
 namespace salarm::strategies {
 
-OptimalStrategy::OptimalStrategy(sim::ServerApi& server,
+OptimalStrategy::OptimalStrategy(net::ClientLink& link,
                                  std::size_t subscriber_count)
-    : server_(server), clients_(subscriber_count) {}
+    : link_(link), clients_(subscriber_count) {}
 
 void OptimalStrategy::fetch_cell(alarms::SubscriberId s,
                                  geo::Point position) {
+  auto pushed = link_.request_alarms(s, position);
+  // nullopt: the alarm push was lost or the client is in an outage. Holding
+  // no list means report-every-tick until a fetch succeeds, during which
+  // the server evaluates reports itself — no trigger can be missed.
+  if (!pushed.has_value()) {
+    clients_[s].reset();
+    return;
+  }
   ClientState state;
-  state.cell = server_.grid().cell_rect(server_.grid().cell_of(position));
-  for (const alarms::SpatialAlarm* a : server_.push_alarms(s, position)) {
+  state.cell = link_.grid().cell_rect(link_.grid().cell_of(position));
+  for (const alarms::SpatialAlarm* a : *pushed) {
     state.alarms.emplace_back(a->id, a->region);
   }
   clients_[s] = std::move(state);
@@ -20,7 +28,7 @@ void OptimalStrategy::fetch_cell(alarms::SubscriberId s,
 
 void OptimalStrategy::initialize(alarms::SubscriberId s,
                                  const mobility::VehicleSample& sample) {
-  (void)server_.handle_position_update(s, sample.pos, 0);
+  (void)link_.report(s, sample.pos, 0);
   fetch_cell(s, sample.pos);
 }
 
@@ -28,21 +36,27 @@ void OptimalStrategy::on_tick(alarms::SubscriberId s,
                               const mobility::VehicleSample& sample,
                               std::uint64_t tick) {
   auto& state = clients_[s];
-  auto& metrics = server_.metrics();
+  auto& metrics = link_.metrics();
 
-  // Invalidation pushes (dynamics tier): append the new alarm to the local
-  // list before the evaluation below, so an alarm installed on top of the
-  // client fires this very tick.
-  for (const auto& push : server_.take_invalidations(s)) {
+  // Invalidation pushes. An install (dynamics tier) appends the new alarm
+  // to the local list before the evaluation below, so an alarm installed
+  // on top of the client fires this very tick; a revoke (carrier loss, net
+  // tier) carries no alarm and voids the whole list instead.
+  for (const auto& push : link_.take_invalidations(s)) {
     ++metrics.client_check_ops;
-    if (state.has_value()) state->alarms.emplace_back(push.alarm, push.region);
+    if (!state.has_value()) continue;
+    if (push.action == dynamics::InvalidationAction::kAlarmAdd) {
+      state->alarms.emplace_back(push.alarm, push.region);
+    } else {
+      state.reset();
+    }
   }
 
   // Cell membership is part of the per-tick client work.
   ++metrics.client_checks;
   ++metrics.client_check_ops;
   if (!state.has_value() || !state->cell.contains(sample.pos)) {
-    (void)server_.handle_position_update(s, sample.pos, tick);
+    (void)link_.report(s, sample.pos, tick);
     fetch_cell(s, sample.pos);
     return;
   }
@@ -60,7 +74,7 @@ void OptimalStrategy::on_tick(alarms::SubscriberId s,
   // did not fire means the alarm was removed (or already spent) server-
   // side, and keeping the stale copy would re-report every tick. On static
   // runs hits and fired coincide exactly.
-  (void)server_.handle_position_update(s, sample.pos, tick);
+  (void)link_.report(s, sample.pos, tick);
   std::erase_if(state->alarms, [&](const auto& entry) {
     return std::find(hits.begin(), hits.end(), entry.first) != hits.end();
   });

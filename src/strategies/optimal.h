@@ -18,7 +18,7 @@ namespace salarm::strategies {
 
 class OptimalStrategy final : public ProcessingStrategy {
  public:
-  OptimalStrategy(sim::ServerApi& server, std::size_t subscriber_count);
+  OptimalStrategy(net::ClientLink& link, std::size_t subscriber_count);
 
   std::string_view name() const override { return "OPT"; }
 
@@ -37,7 +37,10 @@ class OptimalStrategy final : public ProcessingStrategy {
 
   void fetch_cell(alarms::SubscriberId s, geo::Point position);
 
-  sim::ServerApi& server_;
+  net::ClientLink& link_;
+  /// nullopt = no alarm list held (initial state, lost push, or revoked by
+  /// carrier loss): the client reports every tick and retries the fetch —
+  /// server-side evaluation covers it meanwhile, so accuracy holds.
   std::vector<std::optional<ClientState>> clients_;
 };
 

@@ -3,7 +3,9 @@
 // The client transmits every position sample; the server evaluates each
 // against the alarm index. Trivially accurate and trivially unscalable:
 // with the paper's trace this is the full 60M-message firehose, which is
-// why Figure 6(a) leaves it off the chart.
+// why Figure 6(a) leaves it off the chart. PRD holds no grant, so it never
+// polls invalidations; under channel outages its reports are buffered by
+// the link and flushed at reconnect, which preserves exactness unchanged.
 #pragma once
 
 #include "sim/metrics.h"
@@ -13,22 +15,22 @@ namespace salarm::strategies {
 
 class PeriodicStrategy final : public ProcessingStrategy {
  public:
-  explicit PeriodicStrategy(sim::ServerApi& server) : server_(server) {}
+  explicit PeriodicStrategy(net::ClientLink& link) : link_(link) {}
 
   std::string_view name() const override { return "PRD"; }
 
   void initialize(alarms::SubscriberId s,
                   const mobility::VehicleSample& sample) override {
-    (void)server_.handle_position_update(s, sample.pos, 0);
+    (void)link_.report(s, sample.pos, 0);
   }
 
   void on_tick(alarms::SubscriberId s, const mobility::VehicleSample& sample,
                std::uint64_t tick) override {
-    (void)server_.handle_position_update(s, sample.pos, tick);
+    (void)link_.report(s, sample.pos, tick);
   }
 
  private:
-  sim::ServerApi& server_;
+  net::ClientLink& link_;
 };
 
 }  // namespace salarm::strategies

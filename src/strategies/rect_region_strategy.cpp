@@ -4,35 +4,28 @@
 
 namespace salarm::strategies {
 
-RectRegionStrategy::RectRegionStrategy(sim::ServerApi& server,
+RectRegionStrategy::RectRegionStrategy(net::ClientLink& link,
                                        std::size_t subscriber_count,
                                        saferegion::MotionModel model,
                                        saferegion::MwpsrOptions options,
                                        bool corner_baseline)
-    : server_(server), model_(model), options_(options),
+    : link_(link), model_(model), options_(options),
       corner_baseline_(corner_baseline), regions_(subscriber_count) {}
-
-void RectRegionStrategy::set_downstream_loss(double rate,
-                                             std::uint64_t seed) {
-  SALARM_REQUIRE(rate >= 0.0 && rate < 1.0, "loss rate must be in [0, 1)");
-  downstream_loss_ = rate;
-  loss_rng_.emplace(seed);
-}
 
 void RectRegionStrategy::report_and_refresh(
     alarms::SubscriberId s, const mobility::VehicleSample& sample,
     std::uint64_t tick) {
-  (void)server_.handle_position_update(s, sample.pos, tick);
+  (void)link_.report(s, sample.pos, tick);
   const auto region =
       corner_baseline_
-          ? server_.compute_corner_baseline_region(s, sample.pos,
-                                                   sample.heading, model_)
-          : server_.compute_rect_region(s, sample.pos, sample.heading,
-                                        model_, options_);
-  // Injected downstream loss: the response never reaches the client, which
-  // keeps its previous (still sound) region and will simply report again.
-  if (downstream_loss_ > 0.0 && loss_rng_->chance(downstream_loss_)) return;
-  regions_[s] = region.rect;
+          ? link_.request_corner_baseline_region(s, sample.pos,
+                                                 sample.heading, model_)
+          : link_.request_rect_region(s, sample.pos, sample.heading, model_,
+                                      options_);
+  // nullopt: the response was lost or the client is in an outage. The
+  // previous region (if any) is still sound; without one the client
+  // reports again next tick.
+  if (region.has_value()) regions_[s] = region->rect;
 }
 
 void RectRegionStrategy::initialize(alarms::SubscriberId s,
@@ -44,18 +37,19 @@ void RectRegionStrategy::on_tick(alarms::SubscriberId s,
                                  const mobility::VehicleSample& sample,
                                  std::uint64_t tick) {
   auto& region = regions_[s];
-  // Invalidation pushes (dynamics tier): a revoke drops the region before
+  // Invalidation pushes (dynamics tier) and carrier-loss revokes (net
+  // tier): rect grants only ever receive revokes — drop the region before
   // the containment decision below, forcing a report this very tick.
-  for (const auto& push : server_.take_invalidations(s)) {
-    (void)push;  // rect grants only ever receive revokes
-    ++server_.metrics().client_check_ops;
+  for (const auto& push : link_.take_invalidations(s)) {
+    (void)push;
+    ++link_.metrics().client_check_ops;
     region.reset();
   }
   // One rectangle containment test per tick. Closed containment: the
   // region may legally share boundary with alarm regions (triggers are
   // open-interior) and with the grid cell, so a subscriber riding a cell
   // or alarm edge is still safe.
-  auto& metrics = server_.metrics();
+  auto& metrics = link_.metrics();
   ++metrics.client_checks;
   ++metrics.client_check_ops;
   if (region.has_value() && region->contains(sample.pos)) return;

@@ -8,12 +8,17 @@
 //
 // The non-weighted variant of Figure 4 is the same strategy with
 // MwpsrOptions::weighted = false.
+//
+// Fault tolerance comes from the link, not the strategy: a lost region
+// response (request_rect_region -> nullopt) leaves the client with its
+// previous — still sound — region, or none, in which case it reports every
+// tick until a response gets through. bench/robustness_loss reproduces the
+// old *_with_loss figure purely via net::ChannelConfig::downlink_loss.
 #pragma once
 
 #include <optional>
 #include <vector>
 
-#include "common/rng.h"
 #include "saferegion/motion_model.h"
 #include "saferegion/mwpsr.h"
 #include "strategies/strategy.h"
@@ -25,7 +30,7 @@ class RectRegionStrategy final : public ProcessingStrategy {
   /// `corner_baseline` selects the unsound Hu et al. [10]-style region
   /// computation instead of MWPSR — ablation only; it misses alarms by
   /// design (the paper's claim about [10]).
-  RectRegionStrategy(sim::ServerApi& server, std::size_t subscriber_count,
+  RectRegionStrategy(net::ClientLink& link, std::size_t subscriber_count,
                      saferegion::MotionModel model,
                      saferegion::MwpsrOptions options = {},
                      bool corner_baseline = false);
@@ -40,25 +45,16 @@ class RectRegionStrategy final : public ProcessingStrategy {
   void on_tick(alarms::SubscriberId s, const mobility::VehicleSample& sample,
                std::uint64_t tick) override;
 
-  /// Failure injection: drop this fraction of downstream safe-region
-  /// messages (the server still spends the computation and the bytes; the
-  /// client keeps its previous — still sound — region). Accuracy must
-  /// survive any loss rate; only the message count suffers
-  /// (bench/robustness_loss).
-  void set_downstream_loss(double rate, std::uint64_t seed);
-
  private:
   void report_and_refresh(alarms::SubscriberId s,
                           const mobility::VehicleSample& sample,
                           std::uint64_t tick);
 
-  sim::ServerApi& server_;
+  net::ClientLink& link_;
   saferegion::MotionModel model_;
   saferegion::MwpsrOptions options_;
   bool corner_baseline_;
   std::vector<std::optional<geo::Rect>> regions_;
-  double downstream_loss_ = 0.0;
-  std::optional<Rng> loss_rng_;
 };
 
 }  // namespace salarm::strategies

@@ -7,12 +7,12 @@
 
 namespace salarm::strategies {
 
-SafePeriodStrategy::SafePeriodStrategy(sim::ServerApi& server,
+SafePeriodStrategy::SafePeriodStrategy(net::ClientLink& link,
                                        std::size_t subscriber_count,
                                        double max_speed_mps,
                                        double tick_seconds,
                                        double speed_assumption_factor)
-    : server_(server),
+    : link_(link),
       assumed_speed_mps_(max_speed_mps * speed_assumption_factor),
       tick_seconds_(tick_seconds),
       next_report_s_(subscriber_count, 0.0) {
@@ -22,13 +22,20 @@ SafePeriodStrategy::SafePeriodStrategy(sim::ServerApi& server,
 
 void SafePeriodStrategy::report(alarms::SubscriberId s, geo::Point position,
                                 std::uint64_t tick) {
-  (void)server_.handle_position_update(s, position, tick);
-  const double period = server_.compute_safe_period(
-      s, position, assumed_speed_mps_, tick_seconds_);
+  (void)link_.report(s, position, tick);
+  const auto period = link_.request_safe_period(s, position,
+                                                assumed_speed_mps_,
+                                                tick_seconds_);
   const double now = static_cast<double>(tick) * tick_seconds_;
-  next_report_s_[s] = std::isinf(period)
+  if (!period.has_value()) {
+    // Grant lost in flight or client disconnected: no safe period held, so
+    // report again next tick.
+    next_report_s_[s] = now;
+    return;
+  }
+  next_report_s_[s] = std::isinf(*period)
                           ? std::numeric_limits<double>::infinity()
-                          : now + period;
+                          : now + *period;
 }
 
 void SafePeriodStrategy::initialize(alarms::SubscriberId s,
@@ -40,15 +47,16 @@ void SafePeriodStrategy::on_tick(alarms::SubscriberId s,
                                  const mobility::VehicleSample& sample,
                                  std::uint64_t tick) {
   const double now = static_cast<double>(tick) * tick_seconds_;
-  // Invalidation pushes (dynamics tier): a revoke ends the safe period
-  // immediately, forcing a report this very tick.
-  for (const auto& push : server_.take_invalidations(s)) {
+  // Invalidation pushes (dynamics tier) and carrier-loss revokes (net
+  // tier): a revoke ends the safe period immediately, forcing a report
+  // this very tick.
+  for (const auto& push : link_.take_invalidations(s)) {
     (void)push;  // safe-period grants only ever receive revokes
-    ++server_.metrics().client_check_ops;
+    ++link_.metrics().client_check_ops;
     next_report_s_[s] = now;
   }
   if (now < next_report_s_[s]) return;  // still inside the safe period
   report(s, sample.pos, tick);
 }
 
- }  // namespace salarm::strategies
+}  // namespace salarm::strategies

@@ -27,7 +27,7 @@ class SafePeriodStrategy final : public ProcessingStrategy {
   /// period computation heavily relies on future motion estimation") —
   /// longer periods, fewer messages, and alarm misses once a subscriber
   /// out-runs the estimate. Ablation only.
-  SafePeriodStrategy(sim::ServerApi& server, std::size_t subscriber_count,
+  SafePeriodStrategy(net::ClientLink& link, std::size_t subscriber_count,
                      double max_speed_mps, double tick_seconds,
                      double speed_assumption_factor = 1.0);
 
@@ -42,11 +42,12 @@ class SafePeriodStrategy final : public ProcessingStrategy {
   void report(alarms::SubscriberId s, geo::Point position,
               std::uint64_t tick);
 
-  sim::ServerApi& server_;
+  net::ClientLink& link_;
   double assumed_speed_mps_;
   double tick_seconds_;
   /// Next time (seconds) each subscriber must report; +inf when no
-  /// relevant alarm remains.
+  /// relevant alarm remains. A lost period grant (net tier) leaves it at
+  /// `now`, so the grantless client reports every tick — always sound.
   std::vector<double> next_report_s_;
 };
 

@@ -1,10 +1,15 @@
 // Processing-strategy interface.
 //
-// A strategy models both halves of the distributed protocol for one run:
-// the client-side monitoring logic executed on every trace tick (whose
-// work is charged to the client energy counters) and the decision of when
-// to contact the server (whose work the Server charges to the server
-// counters). The simulation engine instantiates one strategy per run and
+// A strategy models the client side of the distributed protocol for one
+// run: the monitoring logic executed on every trace tick (whose work is
+// charged to the client energy counters) and the decision of when to
+// contact the server (whose work the Server charges to the server
+// counters). All server contact goes through a net::ClientLink — the
+// reliable endpoint over the (possibly faulty) channel — so every
+// strategy transparently survives loss, reordering, duplication and
+// outages (DESIGN.md §9): a request_* returning nullopt just means "no
+// grant", and a grantless client reports every tick, which is always
+// sound. The simulation engine instantiates one strategy per run and
 // calls on_tick for every subscriber on every tick.
 #pragma once
 
@@ -13,7 +18,7 @@
 
 #include "alarms/spatial_alarm.h"
 #include "mobility/trace.h"
-#include "sim/server_api.h"
+#include "net/link.h"
 
 namespace salarm::strategies {
 

@@ -1,0 +1,500 @@
+// Net tier tests (DESIGN.md §9): the fault-injecting channel, the
+// reliability protocol of net::ClientLink, and the headline invariant —
+// every strategy stays oracle-exact under arbitrary loss / delay /
+// duplication / outage schedules, monolithic and sharded alike.
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "alarms/alarm_store.h"
+#include "core/experiment.h"
+#include "grid/grid_overlay.h"
+#include "net/channel.h"
+#include "net/link.h"
+#include "sim/server.h"
+
+namespace salarm {
+namespace {
+
+using geo::Point;
+using geo::Rect;
+
+// ---------------------------------------------------------------------------
+// Channel configuration and draw determinism.
+// ---------------------------------------------------------------------------
+
+TEST(ChannelConfigTest, AllZeroIsNotFaulty) {
+  EXPECT_FALSE(net::ChannelConfig{}.faulty());
+}
+
+TEST(ChannelConfigTest, AnySingleKnobMakesItFaulty) {
+  net::ChannelConfig c;
+  c.uplink_loss = 0.1;
+  EXPECT_TRUE(c.faulty());
+  c = {};
+  c.downlink_loss = 0.1;
+  EXPECT_TRUE(c.faulty());
+  c = {};
+  c.duplicate_rate = 0.1;
+  EXPECT_TRUE(c.faulty());
+  c = {};
+  c.latency_base_ms = 5.0;
+  EXPECT_TRUE(c.faulty());
+  c = {};
+  c.outage_start_per_tick = 0.01;
+  c.outage_mean_ticks = 2.0;
+  EXPECT_TRUE(c.faulty());
+}
+
+TEST(ChannelConfigTest, ChannelRejectsInvalidConfigs) {
+  net::ChannelConfig c;
+  c.uplink_loss = 1.0;  // certain loss would never deliver anything
+  EXPECT_THROW(net::FaultyChannel(c, 1, 1), PreconditionError);
+  c = {};
+  c.downlink_loss = -0.1;
+  EXPECT_THROW(net::FaultyChannel(c, 1, 1), PreconditionError);
+  c = {};
+  c.duplicate_rate = 1.5;
+  EXPECT_THROW(net::FaultyChannel(c, 1, 1), PreconditionError);
+  c = {};
+  c.outage_start_per_tick = 0.5;
+  c.outage_mean_ticks = 0.5;  // outages must last at least one tick
+  EXPECT_THROW(net::FaultyChannel(c, 1, 1), PreconditionError);
+}
+
+net::ChannelConfig full_fault_config() {
+  net::ChannelConfig c;
+  c.uplink_loss = 0.2;
+  c.downlink_loss = 0.2;
+  c.duplicate_rate = 0.15;
+  c.latency_base_ms = 40.0;
+  c.latency_jitter_ms = 80.0;
+  c.outage_start_per_tick = 0.02;
+  c.outage_mean_ticks = 3.0;
+  return c;
+}
+
+TEST(FaultyChannelTest, SameSeedReplaysBitIdentically) {
+  const auto config = full_fault_config();
+  net::FaultyChannel a(config, 99, 4);
+  net::FaultyChannel b(config, 99, 4);
+  for (int i = 0; i < 500; ++i) {
+    const alarms::SubscriberId s = static_cast<alarms::SubscriberId>(i % 4);
+    EXPECT_EQ(a.lose_uplink(s), b.lose_uplink(s));
+    EXPECT_EQ(a.lose_downlink(s), b.lose_downlink(s));
+    EXPECT_EQ(a.duplicate(s), b.duplicate(s));
+    EXPECT_EQ(a.latency_ms(s), b.latency_ms(s));
+    EXPECT_EQ(a.outage_starts(s), b.outage_starts(s));
+    EXPECT_EQ(a.outage_duration_ticks(s), b.outage_duration_ticks(s));
+  }
+}
+
+TEST(FaultyChannelTest, SubscriberStreamsAreIndependent) {
+  // Draws for subscriber 0 must not depend on whether (or how often) other
+  // subscribers draw — the property that makes sharded runs bit-identical
+  // at any thread count.
+  const auto config = full_fault_config();
+  net::FaultyChannel solo(config, 7, 2);
+  net::FaultyChannel interleaved(config, 7, 2);
+  std::vector<double> solo_draws;
+  std::vector<double> interleaved_draws;
+  for (int i = 0; i < 200; ++i) {
+    solo_draws.push_back(solo.latency_ms(0));
+    (void)interleaved.latency_ms(1);  // extra traffic on another session
+    (void)interleaved.outage_duration_ticks(1);
+    interleaved_draws.push_back(interleaved.latency_ms(0));
+  }
+  EXPECT_EQ(solo_draws, interleaved_draws);
+}
+
+TEST(FaultyChannelTest, OutageDurationsHaveAtLeastOneTick) {
+  net::ChannelConfig c;
+  c.outage_start_per_tick = 0.5;
+  c.outage_mean_ticks = 4.0;
+  net::FaultyChannel channel(c, 3, 1);
+  double total = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto d = channel.outage_duration_ticks(0);
+    EXPECT_GE(d, 1u);
+    total += static_cast<double>(d);
+  }
+  const double mean = total / 2000.0;
+  EXPECT_GT(mean, 2.0);  // loose band around the configured mean of 4
+  EXPECT_LT(mean, 6.0);
+}
+
+// ---------------------------------------------------------------------------
+// ClientLink protocol behaviour against a hand-built world.
+// ---------------------------------------------------------------------------
+
+/// 4 km x 4 km world with one public alarm, mirroring strategies_test.cpp.
+struct NetWorld {
+  NetWorld() : grid(Rect(0, 0, 4000, 4000), 4, 4), server(store, grid, metrics) {
+    alarms::SpatialAlarm alarm;
+    alarm.id = 0;
+    alarm.scope = alarms::AlarmScope::kPublic;
+    alarm.region = Rect(1400, 400, 1700, 700);
+    alarm.message = "test alert";
+    store.install(std::move(alarm));
+  }
+
+  alarms::AlarmStore store;
+  grid::GridOverlay grid;
+  sim::Metrics metrics;
+  sim::Server server;
+};
+
+TEST(ClientLinkTest, PerfectChannelIsPurePassThrough) {
+  NetWorld w;
+  net::ClientLink link(w.server, net::ChannelConfig{}, 5, 2);
+  EXPECT_FALSE(link.faulty());
+  for (std::uint64_t t = 0; t < 10; ++t) {
+    (void)link.report(0, {100, 100}, t);
+  }
+  // No protocol machinery ran: no sequence numbers, no ACKs, no samples.
+  EXPECT_EQ(link.uplink_seq(0), 0u);
+  EXPECT_EQ(w.metrics.uplink_messages, 10u);
+  EXPECT_EQ(w.metrics.net_ack_messages, 0u);
+  EXPECT_EQ(w.metrics.net_retransmissions, 0u);
+  EXPECT_EQ(w.metrics.net_delivery_latency_ms.count(), 0u);
+}
+
+TEST(ClientLinkTest, LossForcesRetransmissionsAndInflatesBandwidth) {
+  NetWorld w;
+  net::ChannelConfig c;
+  c.uplink_loss = 0.4;
+  net::ClientLink link(w.server, c, 11, 1);
+  for (std::uint64_t t = 0; t < 400; ++t) {
+    (void)link.report(0, {100, 100}, t);
+  }
+  EXPECT_EQ(w.metrics.uplink_messages,
+            400u + w.metrics.net_retransmissions);
+  EXPECT_GT(w.metrics.net_retransmissions, 0u);
+  EXPECT_EQ(w.metrics.uplink_bytes,
+            w.metrics.uplink_messages *
+                wire::encoded_size(wire::PositionUpdate{}));
+  EXPECT_EQ(link.uplink_seq(0), 400u);
+}
+
+TEST(ClientLinkTest, CertainDuplicationIsFullySuppressedAndCounted) {
+  NetWorld w;
+  net::ChannelConfig c;
+  c.duplicate_rate = 1.0;  // the network copies every delivered payload
+  net::ClientLink link(w.server, c, 13, 1);
+  for (std::uint64_t t = 0; t < 50; ++t) {
+    (void)link.report(0, {100, 100}, t);
+  }
+  // No loss: one round per exchange, so exactly one suppressed copy and
+  // two ACKs (one per received copy) per report.
+  EXPECT_EQ(w.metrics.net_retransmissions, 0u);
+  EXPECT_EQ(w.metrics.net_duplicates_dropped, 50u);
+  EXPECT_EQ(w.metrics.net_ack_messages, 100u);
+  EXPECT_EQ(w.metrics.net_ack_bytes, 100u * wire::ack_message_size());
+  EXPECT_EQ(w.metrics.uplink_messages, 50u);  // duplicates are not reports
+}
+
+TEST(ClientLinkTest, PureDelayChannelRecordsTheLatencyDistribution) {
+  NetWorld w;
+  net::ChannelConfig c;
+  c.latency_base_ms = 50.0;  // no jitter: every delivery takes exactly 50 ms
+  net::ClientLink link(w.server, c, 17, 1);
+  for (std::uint64_t t = 0; t < 25; ++t) {
+    (void)link.report(0, {100, 100}, t);
+  }
+  EXPECT_EQ(w.metrics.net_delivery_latency_ms.count(), 25u);
+  EXPECT_DOUBLE_EQ(w.metrics.net_delivery_latency_ms.mean(), 50.0);
+  EXPECT_DOUBLE_EQ(w.metrics.net_delivery_latency_ms.max(), 50.0);
+}
+
+TEST(ClientLinkTest, OutageBuffersReportsAndFlushFiresAtStampTicks) {
+  NetWorld w;
+  net::ChannelConfig c;
+  c.outage_start_per_tick = 0.9;
+  c.outage_mean_ticks = 50.0;  // long outages: stays down while we probe
+  net::ClientLink link(w.server, c, 19, 1);
+
+  // Drive ticks until the carrier drops (p=0.9 per tick; bounded search).
+  std::uint64_t t = 1;
+  for (; t < 100 && !link.in_outage(0); ++t) link.begin_tick(t);
+  ASSERT_TRUE(link.in_outage(0));
+
+  // The client detects the loss as a synthetic revoke: lease fallback.
+  const auto pushes = link.take_invalidations(0);
+  ASSERT_EQ(pushes.size(), 1u);
+  EXPECT_EQ(pushes[0].action, dynamics::InvalidationAction::kRevoke);
+  EXPECT_TRUE(link.take_invalidations(0).empty());  // delivered once
+
+  // Grant requests fail outright while disconnected.
+  EXPECT_FALSE(link.request_safe_period(0, {100, 100}, 20.0, 1.0).has_value());
+
+  // Reports inside the alarm region are buffered with their stamp ticks.
+  EXPECT_TRUE(link.report(0, {1500, 550}, t).empty());
+  EXPECT_TRUE(link.report(0, {1500, 551}, t + 1).empty());
+  EXPECT_EQ(w.metrics.net_buffered_reports, 2u);
+  EXPECT_EQ(w.metrics.uplink_messages, 0u);
+  EXPECT_EQ(link.uplink_seq(0), 0u);
+
+  // End-of-run flush: server-side checking fires the alarm exactly once,
+  // at the first buffered sample's original tick.
+  link.finish();
+  EXPECT_EQ(link.uplink_seq(0), 2u);
+  EXPECT_EQ(w.metrics.uplink_messages, 2u);
+  ASSERT_EQ(w.server.trigger_log().size(), 1u);
+  EXPECT_EQ(w.server.trigger_log()[0].alarm, 0u);
+  EXPECT_EQ(w.server.trigger_log()[0].subscriber, 0u);
+  EXPECT_EQ(w.server.trigger_log()[0].tick, t);
+  EXPECT_GT(link.link_metrics().net_lease_fallback_ticks, 0u);
+  EXPECT_EQ(link.link_metrics().net_outages, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Temporal evaluation of buffered reports against alarm churn.
+// ---------------------------------------------------------------------------
+
+TEST(BufferedUpdateTest, IgnoresAlarmsInstalledAfterTheStamp) {
+  NetWorld w;
+  w.server.enable_dynamics(1);
+  alarms::SpatialAlarm late;
+  late.id = 9;
+  late.scope = alarms::AlarmScope::kPublic;
+  late.region = Rect(3000, 3000, 3300, 3300);
+  w.server.install_alarm(late, /*tick=*/5);
+
+  // Stamp 3 predates the install: the report was taken when the alarm did
+  // not exist, so it must not fire.
+  EXPECT_TRUE(w.server.handle_buffered_update(0, {3100, 3100}, 3).empty());
+  // Stamp 6 postdates it: fires.
+  const auto fired = w.server.handle_buffered_update(0, {3100, 3100}, 6);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 9u);
+}
+
+TEST(BufferedUpdateTest, RemovedAlarmStillFiresFromTheGraveyard) {
+  NetWorld w;
+  w.server.enable_dynamics(1);
+  ASSERT_TRUE(w.server.remove_alarm(0, /*tick=*/5));
+
+  // Stamp 6 is after the removal: nothing to fire.
+  EXPECT_TRUE(w.server.handle_buffered_update(0, {1500, 550}, 6).empty());
+  // Stamp 3 is within the alarm's lifetime: the graveyard serves the fire,
+  // exactly once.
+  const auto fired = w.server.handle_buffered_update(0, {1500, 550}, 3);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 0u);
+  EXPECT_TRUE(w.server.handle_buffered_update(0, {1500, 550}, 3).empty());
+  ASSERT_EQ(w.server.trigger_log().size(), 1u);
+  EXPECT_EQ(w.server.trigger_log()[0].tick, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Integration: oracle-exactness for every strategy under chaos schedules.
+// ---------------------------------------------------------------------------
+
+core::ExperimentConfig chaos_experiment_config(std::uint64_t seed) {
+  core::ExperimentConfig cfg;
+  cfg.universe_km = 6.0;
+  cfg.vehicles = 60;
+  cfg.minutes = 2.0;
+  cfg.alarm_count = 400;
+  cfg.public_percent = 10.0;
+  cfg.grid_cell_sqkm = 2.5;
+  cfg.seed = seed;
+  return cfg;
+}
+
+sim::Simulation::StrategyFactory chaos_factory(
+    const core::Experiment& experiment, const std::string& name) {
+  if (name == "prd") return experiment.periodic();
+  if (name == "sp") return experiment.safe_period();
+  if (name == "mwpsr") return experiment.rect(saferegion::MotionModel(1.0, 32));
+  if (name == "gbsr") {
+    saferegion::PyramidConfig cfg;
+    cfg.height = 1;
+    return experiment.bitmap(cfg);
+  }
+  if (name == "pbsr") {
+    saferegion::PyramidConfig cfg;
+    cfg.height = 5;
+    return experiment.bitmap(cfg);
+  }
+  if (name == "pbsr_cached") {
+    saferegion::PyramidConfig cfg;
+    cfg.height = 5;
+    return experiment.bitmap_cached(cfg);
+  }
+  if (name == "opt") return experiment.optimal();
+  throw PreconditionError("unknown strategy: " + name);
+}
+
+/// Chaos schedule for a given loss rate: delay + jitter (reordering),
+/// duplication and burst outages are always on, so even the loss=0 corner
+/// exercises every fault class except drops.
+net::ChannelConfig chaos_channel(double loss) {
+  net::ChannelConfig c;
+  c.uplink_loss = loss;
+  c.downlink_loss = loss;
+  c.duplicate_rate = 0.1;
+  c.latency_base_ms = 40.0;
+  c.latency_jitter_ms = 80.0;
+  c.outage_start_per_tick = 0.01;
+  c.outage_mean_ticks = 3.0;
+  return c;
+}
+
+void expect_perfect_chaos(const sim::RunResult& r) {
+  EXPECT_EQ(r.accuracy.missed, 0u) << r.strategy;
+  EXPECT_EQ(r.accuracy.spurious, 0u) << r.strategy;
+  EXPECT_EQ(r.accuracy.late, 0u) << r.strategy;
+  EXPECT_GT(r.accuracy.expected, 0u) << "workload produced no triggers";
+}
+
+using ChaosParam = std::tuple<std::string, int, std::uint64_t>;
+
+class ChaosAccuracyTest : public ::testing::TestWithParam<ChaosParam> {};
+
+TEST_P(ChaosAccuracyTest, StrategyStaysOracleExactUnderChaos) {
+  const auto& [name, loss_pct, seed] = GetParam();
+  core::Experiment experiment(chaos_experiment_config(seed));
+  experiment.enable_channel(chaos_channel(loss_pct / 100.0));
+  const auto run =
+      experiment.simulation().run(chaos_factory(experiment, name));
+  expect_perfect_chaos(run);
+  // The protocol must have actually worked for its exactness: outages
+  // forced lease fallbacks, duplication was suppressed, and (when lossy)
+  // retransmissions happened.
+  EXPECT_GT(run.metrics.net_outages, 0u) << name;
+  EXPECT_GT(run.metrics.net_lease_fallback_ticks, 0u) << name;
+  EXPECT_GT(run.metrics.net_duplicates_dropped, 0u) << name;
+  EXPECT_GT(run.metrics.net_delivery_latency_ms.count(), 0u) << name;
+  if (loss_pct > 0) EXPECT_GT(run.metrics.net_retransmissions, 0u) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, ChaosAccuracyTest,
+    ::testing::Combine(::testing::Values("prd", "sp", "mwpsr", "gbsr", "pbsr",
+                                         "pbsr_cached", "opt"),
+                       ::testing::Values(0, 5, 20, 50),
+                       ::testing::Values(7u, 11u, 23u)),
+    [](const ::testing::TestParamInfo<ChaosParam>& info) {
+      return std::get<0>(info.param) + "_loss" +
+             std::to_string(std::get<1>(info.param)) + "_seed" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(ChaosReplayTest, FaultScheduleReplaysBitIdentically) {
+  core::Experiment experiment(chaos_experiment_config(31));
+  experiment.enable_channel(chaos_channel(0.2));
+  const auto factory = experiment.rect(saferegion::MotionModel(1.0, 32));
+  const auto first = experiment.simulation().run(factory);
+  // A different strategy in between must not perturb the channel replay.
+  (void)experiment.simulation().run(experiment.optimal());
+  const auto again = experiment.simulation().run(factory);
+  EXPECT_EQ(again.trigger_log, first.trigger_log);
+  EXPECT_EQ(again.metrics.uplink_messages, first.metrics.uplink_messages);
+  EXPECT_EQ(again.metrics.net_retransmissions,
+            first.metrics.net_retransmissions);
+  EXPECT_EQ(again.metrics.net_duplicates_dropped,
+            first.metrics.net_duplicates_dropped);
+  EXPECT_EQ(again.metrics.net_outages, first.metrics.net_outages);
+  EXPECT_EQ(again.metrics.net_buffered_reports,
+            first.metrics.net_buffered_reports);
+  EXPECT_EQ(again.metrics.net_delivery_latency_ms.sum(),
+            first.metrics.net_delivery_latency_ms.sum());
+}
+
+TEST(ChaosChurnTest, FaultsAndChurnComposeWithoutLosingExactness) {
+  for (const char* name : {"mwpsr", "pbsr", "opt"}) {
+    core::Experiment experiment(chaos_experiment_config(43));
+    experiment.enable_churn(experiment.churn_config(/*installs_per_tick=*/1.0,
+                                                    /*removes_per_tick=*/0.5));
+    experiment.enable_channel(chaos_channel(0.2));
+    const auto run =
+        experiment.simulation().run(chaos_factory(experiment, name));
+    expect_perfect_chaos(run);
+    EXPECT_GT(run.metrics.alarms_installed, 0u) << name;
+    EXPECT_GT(run.metrics.net_retransmissions, 0u) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded chaos: bit-identical at any thread count, faults included.
+// ---------------------------------------------------------------------------
+
+void expect_bit_identical_with_net(const sim::RunResult& a,
+                                   const sim::RunResult& b) {
+  EXPECT_EQ(b.trigger_log, a.trigger_log);
+  const sim::Metrics& m = a.metrics;
+  const sim::Metrics& n = b.metrics;
+  EXPECT_EQ(n.uplink_messages, m.uplink_messages);
+  EXPECT_EQ(n.uplink_bytes, m.uplink_bytes);
+  EXPECT_EQ(n.downstream_region_bytes, m.downstream_region_bytes);
+  EXPECT_EQ(n.downstream_notice_bytes, m.downstream_notice_bytes);
+  EXPECT_EQ(n.client_checks, m.client_checks);
+  EXPECT_EQ(n.client_check_ops, m.client_check_ops);
+  EXPECT_EQ(n.server_alarm_ops, m.server_alarm_ops);
+  EXPECT_EQ(n.server_region_ops, m.server_region_ops);
+  EXPECT_EQ(n.handoff_messages, m.handoff_messages);
+  EXPECT_EQ(n.handoff_bytes, m.handoff_bytes);
+  EXPECT_EQ(n.triggers, m.triggers);
+  EXPECT_EQ(n.net_retransmissions, m.net_retransmissions);
+  EXPECT_EQ(n.net_duplicates_dropped, m.net_duplicates_dropped);
+  EXPECT_EQ(n.net_ack_messages, m.net_ack_messages);
+  EXPECT_EQ(n.net_ack_bytes, m.net_ack_bytes);
+  EXPECT_EQ(n.net_lease_fallback_ticks, m.net_lease_fallback_ticks);
+  EXPECT_EQ(n.net_buffered_reports, m.net_buffered_reports);
+  EXPECT_EQ(n.net_outages, m.net_outages);
+  EXPECT_EQ(n.net_delivery_latency_ms.count(),
+            m.net_delivery_latency_ms.count());
+  EXPECT_EQ(n.net_delivery_latency_ms.sum(), m.net_delivery_latency_ms.sum());
+}
+
+class ShardedChaosTest : public ::testing::Test {
+ protected:
+  void check(const std::string& name) {
+    core::Experiment experiment(chaos_experiment_config(53));
+    experiment.enable_channel(chaos_channel(0.2));
+    const auto factory = chaos_factory(experiment, name);
+    const auto ref = experiment.simulation().run_sharded(
+        factory, {.shards = 4, .threads = 1});
+    expect_perfect_chaos(ref);
+    EXPECT_GT(ref.metrics.net_retransmissions, 0u) << name;
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      expect_bit_identical_with_net(
+          ref, experiment.simulation().run_sharded(
+                   factory, {.shards = 4, .threads = threads}));
+    }
+  }
+};
+
+TEST_F(ShardedChaosTest, MwpsrBitIdenticalAcrossThreadCounts) {
+  check("mwpsr");
+}
+
+TEST_F(ShardedChaosTest, SafePeriodBitIdenticalAcrossThreadCounts) {
+  check("sp");
+}
+
+TEST_F(ShardedChaosTest, PbsrBitIdenticalAcrossThreadCounts) {
+  check("pbsr");
+}
+
+TEST_F(ShardedChaosTest, OptBitIdenticalAcrossThreadCounts) { check("opt"); }
+
+TEST(ShardedChaosTest2, PassthroughChannelMatchesNoChannelBitForBit) {
+  // The all-zero config must be a provable no-op: a run with set_channel({})
+  // is indistinguishable from one that never touched the channel API.
+  core::Experiment experiment(chaos_experiment_config(61));
+  const auto factory = experiment.rect(saferegion::MotionModel(1.0, 32));
+  const auto bare = experiment.simulation().run(factory);
+  experiment.enable_channel(net::ChannelConfig{});
+  const auto with_channel = experiment.simulation().run(factory);
+  expect_bit_identical_with_net(bare, with_channel);
+  EXPECT_EQ(with_channel.metrics.net_ack_messages, 0u);
+  EXPECT_EQ(with_channel.metrics.net_delivery_latency_ms.count(), 0u);
+}
+
+}  // namespace
+}  // namespace salarm

@@ -141,9 +141,9 @@ TEST(RecordedTraceSourceTest, DrivesAFullSimulation) {
   grid::GridOverlay grid(universe, 4, 4);
 
   sim::Simulation simulation(source, store, grid, trace.tick_count());
-  const auto run = simulation.run([&](sim::ServerApi& server) {
+  const auto run = simulation.run([&](net::ClientLink& link) {
     return std::make_unique<strategies::RectRegionStrategy>(
-        server, 50, saferegion::MotionModel(1.0, 32));
+        link, 50, saferegion::MotionModel(1.0, 32));
   });
   EXPECT_EQ(run.accuracy.missed, 0u);
   EXPECT_EQ(run.accuracy.late, 0u);

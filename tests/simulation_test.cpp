@@ -207,16 +207,19 @@ TEST(StrategyTrendTest, DownstreamLossNeverCostsAccuracy) {
   core::Experiment experiment(small_config());
   const saferegion::MotionModel model(1.0, 32);
   const auto clean = experiment.simulation().run(experiment.rect(model));
-  const auto lossy = experiment.simulation().run(
-      experiment.rect_with_loss(model, 0.4));
+
+  net::ChannelConfig lossy_channel;
+  lossy_channel.downlink_loss = 0.4;
+  experiment.enable_channel(lossy_channel);
+  const auto lossy = experiment.simulation().run(experiment.rect(model));
   EXPECT_EQ(lossy.accuracy.missed, 0u);
   EXPECT_EQ(lossy.accuracy.late, 0u);
   EXPECT_GT(lossy.metrics.uplink_messages, clean.metrics.uplink_messages);
 
   saferegion::PyramidConfig pyramid;
   pyramid.height = 4;
-  const auto lossy_bitmap = experiment.simulation().run(
-      experiment.bitmap_with_loss(pyramid, 0.4));
+  const auto lossy_bitmap =
+      experiment.simulation().run(experiment.bitmap(pyramid));
   EXPECT_EQ(lossy_bitmap.accuracy.missed, 0u);
   EXPECT_EQ(lossy_bitmap.accuracy.late, 0u);
 }

@@ -1,11 +1,12 @@
 // Behavioral unit tests of the five processing strategies against a
-// hand-built world (store + grid + server), independent of the trace
+// hand-built world (store + grid + server behind a perfect link), independent of the trace
 // generator: exactly when does each strategy talk to the server, what does
 // it cost, and how does it react to triggers.
 #include <gtest/gtest.h>
 
 #include "alarms/alarm_store.h"
 #include "grid/grid_overlay.h"
+#include "net/link.h"
 #include "sim/server.h"
 #include "strategies/bitmap_region_strategy.h"
 #include "strategies/optimal.h"
@@ -39,11 +40,15 @@ struct World {
   grid::GridOverlay grid;
   sim::Metrics metrics;
   sim::Server server;
+  /// Perfect pass-through link (all-zero ChannelConfig): these tests pin
+  /// down strategy behaviour; the faulty-channel behaviour lives in
+  /// net_test.cpp.
+  net::ClientLink link{server, net::ChannelConfig{}, 0, 8};
 };
 
 TEST(PeriodicStrategyTest, SendsEverySample) {
   World w;
-  PeriodicStrategy prd(w.server);
+  PeriodicStrategy prd(w.link);
   prd.initialize(0, w.at(100, 100));
   for (std::uint64_t t = 1; t <= 10; ++t) {
     prd.on_tick(0, w.at(100.0 + 10 * static_cast<double>(t), 100), t);
@@ -57,7 +62,7 @@ TEST(SafePeriodStrategyTest, StaysSilentUntilExpiry) {
   World w;
   // True speed 15 m/s; subscriber starts 900+ m from the alarm region, so
   // the first grant is tens of seconds long.
-  SafePeriodStrategy sp(w.server, 1, /*max_speed=*/20.0, /*tick=*/1.0);
+  SafePeriodStrategy sp(w.link, 1, /*max_speed=*/20.0, /*tick=*/1.0);
   sp.initialize(0, w.at(100, 550));
   EXPECT_EQ(w.metrics.uplink_messages, 1u);
   const double distance = Rect(1400, 400, 1700, 700).distance({100, 550});
@@ -76,7 +81,7 @@ TEST(SafePeriodStrategyTest, StaysSilentUntilExpiry) {
 TEST(SafePeriodStrategyTest, NoRelevantAlarmsMeansOneMessageEver) {
   World w;
   w.store.mark_spent(0, 0);  // the only alarm is spent for subscriber 0
-  SafePeriodStrategy sp(w.server, 1, 20.0, 1.0);
+  SafePeriodStrategy sp(w.link, 1, 20.0, 1.0);
   sp.initialize(0, w.at(100, 100));
   for (std::uint64_t t = 1; t <= 500; ++t) {
     sp.on_tick(0, w.at(100 + static_cast<double>(t), 100), t);
@@ -86,13 +91,13 @@ TEST(SafePeriodStrategyTest, NoRelevantAlarmsMeansOneMessageEver) {
 
 TEST(SafePeriodStrategyTest, RejectsNonPositiveAssumption) {
   World w;
-  EXPECT_THROW(SafePeriodStrategy(w.server, 1, 20.0, 1.0, 0.0),
+  EXPECT_THROW(SafePeriodStrategy(w.link, 1, 20.0, 1.0, 0.0),
                PreconditionError);
 }
 
 TEST(RectRegionStrategyTest, OneCheckPerTickAndReportOnExit) {
   World w;
-  RectRegionStrategy rect(w.server, 1, saferegion::MotionModel::uniform());
+  RectRegionStrategy rect(w.link, 1, saferegion::MotionModel::uniform());
   rect.initialize(0, w.at(500, 550));
   EXPECT_EQ(w.metrics.uplink_messages, 1u);
   EXPECT_EQ(w.metrics.safe_region_recomputes, 1u);
@@ -117,7 +122,7 @@ TEST(RectRegionStrategyTest, OneCheckPerTickAndReportOnExit) {
 
 TEST(RectRegionStrategyTest, TriggersWhenEnteringAlarm) {
   World w;
-  RectRegionStrategy rect(w.server, 1, saferegion::MotionModel::uniform());
+  RectRegionStrategy rect(w.link, 1, saferegion::MotionModel::uniform());
   rect.initialize(0, w.at(1100, 550));
   // Step into the alarm region; the region must have excluded it, so the
   // client reports and the server fires the alarm.
@@ -138,7 +143,7 @@ TEST(BitmapRegionStrategyTest, RefreshOnCellExitOnly) {
   World w;
   saferegion::PyramidConfig cfg;
   cfg.height = 3;
-  BitmapRegionStrategy pbsr(w.server, 1, cfg);
+  BitmapRegionStrategy pbsr(w.link, 1, cfg);
   pbsr.initialize(0, w.at(500, 550));
   EXPECT_EQ(w.metrics.safe_region_recomputes, 1u);
 
@@ -169,7 +174,7 @@ TEST(BitmapRegionStrategyTest, TriggerRefreshesBitmap) {
   World w;
   saferegion::PyramidConfig cfg;
   cfg.height = 4;
-  BitmapRegionStrategy pbsr(w.server, 1, cfg);
+  BitmapRegionStrategy pbsr(w.link, 1, cfg);
   pbsr.initialize(0, w.at(1100, 550));
   const auto recomputes = w.metrics.safe_region_recomputes;
   // Step into the alarm: report fires the alarm, and per §4.2 the bitmap
@@ -187,7 +192,7 @@ TEST(BitmapRegionStrategyTest, TriggerRefreshesBitmap) {
 
 TEST(OptimalStrategyTest, PushesOnCellChangeAndReportsOnlyTriggers) {
   World w;
-  OptimalStrategy opt(w.server, 1);
+  OptimalStrategy opt(w.link, 1);
   opt.initialize(0, w.at(1100, 550));  // the alarm's cell
   EXPECT_EQ(w.metrics.uplink_messages, 1u);
   const auto push_bytes = w.metrics.downstream_region_bytes;
@@ -214,30 +219,30 @@ TEST(OptimalStrategyTest, PushesOnCellChangeAndReportsOnlyTriggers) {
 
 TEST(StrategyNamesTest, ReportCorrectly) {
   World w;
-  EXPECT_EQ(PeriodicStrategy(w.server).name(), "PRD");
-  EXPECT_EQ(SafePeriodStrategy(w.server, 1, 20, 1).name(), "SP");
-  EXPECT_EQ(RectRegionStrategy(w.server, 1,
+  EXPECT_EQ(PeriodicStrategy(w.link).name(), "PRD");
+  EXPECT_EQ(SafePeriodStrategy(w.link, 1, 20, 1).name(), "SP");
+  EXPECT_EQ(RectRegionStrategy(w.link, 1,
                                saferegion::MotionModel::uniform())
                 .name(),
             "MWPSR");
   saferegion::MwpsrOptions non_weighted;
   non_weighted.weighted = false;
-  EXPECT_EQ(RectRegionStrategy(w.server, 1,
+  EXPECT_EQ(RectRegionStrategy(w.link, 1,
                                saferegion::MotionModel::uniform(),
                                non_weighted)
                 .name(),
             "RECT");
-  EXPECT_EQ(RectRegionStrategy(w.server, 1,
+  EXPECT_EQ(RectRegionStrategy(w.link, 1,
                                saferegion::MotionModel::uniform(), {}, true)
                 .name(),
             "RECT[10]");
   saferegion::PyramidConfig gbsr;
   gbsr.height = 1;
-  EXPECT_EQ(BitmapRegionStrategy(w.server, 1, gbsr).name(), "GBSR");
+  EXPECT_EQ(BitmapRegionStrategy(w.link, 1, gbsr).name(), "GBSR");
   saferegion::PyramidConfig pbsr;
   pbsr.height = 5;
-  EXPECT_EQ(BitmapRegionStrategy(w.server, 1, pbsr).name(), "PBSR");
-  EXPECT_EQ(OptimalStrategy(w.server, 1).name(), "OPT");
+  EXPECT_EQ(BitmapRegionStrategy(w.link, 1, pbsr).name(), "PBSR");
+  EXPECT_EQ(OptimalStrategy(w.link, 1).name(), "OPT");
 }
 
 }  // namespace

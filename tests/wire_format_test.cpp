@@ -34,14 +34,15 @@ TEST(BitIoTest, ReaderValidatesBitCount) {
 }
 
 TEST(WireFormatTest, PositionUpdateRoundTrip) {
-  const PositionUpdate m{42, {123.5, -7.25}, 99.75};
+  const PositionUpdate m{42, {123.5, -7.25}, 99.75, 1009};
   const auto bytes = encode(m);
   EXPECT_EQ(bytes.size(), encoded_size(m));
-  EXPECT_EQ(bytes.size(), 29u);
+  EXPECT_EQ(bytes.size(), 33u);
   const PositionUpdate d = decode_position_update(bytes);
   EXPECT_EQ(d.subscriber, m.subscriber);
   EXPECT_EQ(d.position, m.position);
   EXPECT_DOUBLE_EQ(d.time_s, m.time_s);
+  EXPECT_EQ(d.seq, 1009u);
 }
 
 TEST(WireFormatTest, RectSafeRegionRoundTrip) {
@@ -149,18 +150,19 @@ TEST(WireFormatTest, PyramidPayloadValidated) {
 
 TEST(WireFormatTest, InvalidationRoundTrip) {
   // Revoke/shrink pushes carry no alert content.
-  const InvalidationMsg revoke{0, 17, Rect(1, 2, 3, 4), ""};
+  const InvalidationMsg revoke{0, 6, 17, Rect(1, 2, 3, 4), ""};
   const auto revoke_bytes = encode(revoke);
   EXPECT_EQ(revoke_bytes.size(), encoded_size(revoke));
   EXPECT_EQ(revoke_bytes.size(), invalidation_message_size(0));
   const auto revoke_decoded = decode_invalidation(revoke_bytes);
   EXPECT_EQ(revoke_decoded.action, 0);
+  EXPECT_EQ(revoke_decoded.seq, 6u);
   EXPECT_EQ(revoke_decoded.alarm, 17u);
   EXPECT_EQ(revoke_decoded.region, revoke.region);
   EXPECT_TRUE(revoke_decoded.message.empty());
 
   // Alarm-add pushes carry the alarm's message.
-  const InvalidationMsg add{2, 90001, Rect(10, 10, 20, 20),
+  const InvalidationMsg add{2, 7, 90001, Rect(10, 10, 20, 20),
                             "ozone alert downtown"};
   const auto add_bytes = encode(add);
   EXPECT_EQ(add_bytes.size(), encoded_size(add));
@@ -172,7 +174,7 @@ TEST(WireFormatTest, InvalidationRoundTrip) {
 }
 
 TEST(WireFormatTest, InvalidationRejectsCorruptPayloads) {
-  const InvalidationMsg m{1, 5, Rect(0, 0, 1, 1), ""};
+  const InvalidationMsg m{1, 1, 5, Rect(0, 0, 1, 1), ""};
   auto bytes = encode(m);
 
   // Bad type byte.
@@ -216,7 +218,7 @@ TEST(WireFormatTest, TruncationSweepThrowsForEveryPrefix) {
       encode(AlarmPushMsg{Rect(0, 0, 9, 9), {{1, Rect(1, 1, 2, 2), "hi"}}}),
       [](auto b) { return decode_alarm_push(b); });
   expect_all_prefixes_throw(
-      encode(InvalidationMsg{2, 5, Rect(0, 0, 1, 1), "msg"}),
+      encode(InvalidationMsg{2, 1, 5, Rect(0, 0, 1, 1), "msg"}),
       [](auto b) { return decode_invalidation(b); });
 
   const auto bitmap = saferegion::PyramidBitmap::build(
@@ -225,6 +227,54 @@ TEST(WireFormatTest, TruncationSweepThrowsForEveryPrefix) {
   expect_all_prefixes_throw(
       encode(PyramidSafeRegionMsg::from(bitmap)),
       [](auto b) { return decode_pyramid_safe_region(b); });
+}
+
+TEST(WireFormatTest, AckRoundTrip) {
+  const AckMsg m{1234, 0xDEADBEEF};
+  const auto bytes = encode(m);
+  EXPECT_EQ(bytes.size(), ack_message_size());
+  const AckMsg d = decode_ack(bytes);
+  EXPECT_EQ(d.subscriber, 1234u);
+  EXPECT_EQ(d.seq, 0xDEADBEEFu);
+
+  // Wrong type byte and every strict prefix must throw.
+  auto bad = bytes;
+  bad[0] = static_cast<std::uint8_t>(MessageType::kSafePeriod);
+  EXPECT_THROW(decode_ack(bad), salarm::PreconditionError);
+  expect_all_prefixes_throw(bytes, [](auto b) { return decode_ack(b); });
+}
+
+// DESIGN.md §9: the channel may reorder and duplicate invalidation pushes;
+// the decoded sequence numbers are what lets the client restore order and
+// drop copies. These tests pin the wire-level behaviour the protocol
+// relies on.
+TEST(WireFormatTest, InvalidationSequenceSurvivesReordering) {
+  const InvalidationMsg first{1, 41, 7, Rect(0, 0, 5, 5), ""};
+  const InvalidationMsg second{1, 42, 8, Rect(5, 5, 9, 9), ""};
+  const auto first_bytes = encode(first);
+  const auto second_bytes = encode(second);
+
+  // Delivered out of order: decoding is order-independent, and the seq
+  // fields alone recover the original send order.
+  const auto late = decode_invalidation(second_bytes);
+  const auto early = decode_invalidation(first_bytes);
+  EXPECT_LT(early.seq, late.seq);
+  EXPECT_EQ(early.alarm, 7u);
+  EXPECT_EQ(late.alarm, 8u);
+}
+
+TEST(WireFormatTest, InvalidationDuplicateCopiesDecodeIdentically) {
+  const InvalidationMsg m{2, 99, 13, Rect(1, 1, 2, 2), "copy me"};
+  const auto bytes = encode(m);
+  const auto copy_bytes = bytes;  // the channel re-delivers the same frame
+  const auto a = decode_invalidation(bytes);
+  const auto b = decode_invalidation(copy_bytes);
+  // Identical seq is exactly what the duplicate-suppression window keys on.
+  EXPECT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.action, b.action);
+  EXPECT_EQ(a.alarm, b.alarm);
+  EXPECT_EQ(a.region, b.region);
+  EXPECT_EQ(a.message, b.message);
 }
 
 TEST(WireFormatTest, AlarmPushRejectsReserveBomb) {
