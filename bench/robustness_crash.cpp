@@ -1,0 +1,113 @@
+// Robustness study: shard crash-recovery (DESIGN.md §10).
+//
+// Sweeps crash rates — none (checkpoint cadence only), moderate, heavy,
+// and heavy without a journal — across all seven strategies on a 4-shard
+// cluster. The headline invariant is checked on every run: checkpoint +
+// journal replay (or the redo-ledger + re-registration fallback) and the
+// degraded-mode clients keep every strategy oracle-exact under arbitrary
+// crash schedules; what crashes cost is durable bytes, recovery work and
+// deferred client traffic, never accuracy. The channel is perfect here so
+// the crash costs are isolated (robustness_faults covers channel faults).
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace salarm;
+
+namespace {
+
+struct Scenario {
+  const char* name;
+  failover::FailoverConfig config;
+};
+
+std::vector<Scenario> scenarios() {
+  failover::FailoverConfig base;
+  base.crash_mean_down_ticks = 4.0;
+  base.checkpoint_interval_ticks = 30;
+  base.journal = true;
+
+  std::vector<Scenario> out;
+  failover::FailoverConfig none = base;
+  none.crash_per_tick = 0.0;
+  out.push_back({"no crashes (checkpoints only)", none});
+
+  failover::FailoverConfig moderate = base;
+  moderate.crash_per_tick = 0.005;
+  out.push_back({"crash 0.5%/tick, journal", moderate});
+
+  failover::FailoverConfig heavy = base;
+  heavy.crash_per_tick = 0.02;
+  out.push_back({"crash 2%/tick, journal", heavy});
+
+  failover::FailoverConfig redo = heavy;
+  redo.journal = false;
+  out.push_back({"crash 2%/tick, journal-less (redo + re-registration)",
+                 redo});
+  return out;
+}
+
+std::vector<std::pair<std::string, sim::Simulation::StrategyFactory>>
+strategy_set(const core::Experiment& experiment) {
+  saferegion::PyramidConfig gbsr;
+  gbsr.height = 1;
+  saferegion::PyramidConfig pbsr;
+  pbsr.height = 5;
+  std::vector<std::pair<std::string, sim::Simulation::StrategyFactory>> out;
+  out.emplace_back("PRD", experiment.periodic());
+  out.emplace_back("SP", experiment.safe_period());
+  out.emplace_back("MWPSR", experiment.rect(saferegion::MotionModel(1.0, 32)));
+  out.emplace_back("GBSR", experiment.bitmap(gbsr));
+  out.emplace_back("PBSR", experiment.bitmap(pbsr));
+  out.emplace_back("PBSR+cache", experiment.bitmap_cached(pbsr));
+  out.emplace_back("OPT", experiment.optimal());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  core::ExperimentConfig cfg = bench::default_config();
+  bench::print_banner("Robustness (crashes)",
+                      "shard crash-recovery: checkpoints, journal replay, "
+                      "degraded clients",
+                      cfg);
+
+  core::Experiment experiment(cfg);
+  const sim::CostModel cost;
+
+  for (const Scenario& scenario : scenarios()) {
+    experiment.enable_failover(scenario.config);
+    std::printf("-- %s --\n", scenario.name);
+    std::printf("%-12s %8s %9s %9s %9s %8s %8s %9s %9s %9s\n", "strategy",
+                "crashes", "ckpt KB", "jrnl KB", "replays", "rereg",
+                "buffered", "durab s", "recov s", "fo mWh");
+    for (const auto& [label, factory] : strategy_set(experiment)) {
+      const auto run = experiment.simulation().run_sharded(
+          factory, {.shards = 4, .threads = 2});
+      bench::require_perfect(run);
+      const auto& m = run.metrics;
+      std::printf(
+          "%-12s %8s %9.1f %9.1f %9s %8s %8s %9.3f %9.3f %9.2f\n",
+          label.c_str(), bench::with_commas(m.fo_crashes).c_str(),
+          static_cast<double>(m.fo_checkpoint_bytes) / 1024.0,
+          static_cast<double>(m.fo_journal_bytes) / 1024.0,
+          bench::with_commas(m.fo_journal_replays + m.fo_redo_events).c_str(),
+          bench::with_commas(m.fo_reregistrations).c_str(),
+          bench::with_commas(m.fo_buffered_reports).c_str(),
+          cost.durability_server_minutes(m) * 60.0,
+          cost.recovery_server_minutes(m) * 60.0,
+          cost.failover_overhead_mwh(m));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "every run above is oracle-exact (a violation aborts the bench):\n"
+      "crashes buy checkpoint/journal bytes, recovery replays and deferred\n"
+      "client traffic — never missed or spurious alarms.\n");
+  return 0;
+}

@@ -167,6 +167,19 @@ bool AlarmStore::spent(AlarmId id, SubscriberId s) const {
   return spent_.contains(spend_key(id, s));
 }
 
+std::vector<std::pair<AlarmId, SubscriberId>> AlarmStore::spent_pairs() const {
+  std::vector<std::pair<AlarmId, SubscriberId>> pairs;
+  pairs.reserve(spent_.size());
+  for (const std::uint64_t key : spent_) {
+    pairs.emplace_back(static_cast<AlarmId>(key >> 32),
+                       static_cast<SubscriberId>(key & 0xFFFFFFFFu));
+  }
+  // The set iterates in hash order; checkpoints must be byte-identical
+  // across runs and thread counts, so sort.
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
 void AlarmStore::reset_triggers() { spent_.clear(); }
 
 double AlarmStore::nearest_relevant_distance(geo::Point p,

@@ -7,6 +7,7 @@
 #include <functional>
 #include <optional>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "alarms/spatial_alarm.h"
@@ -128,6 +129,11 @@ class AlarmStore {
   void mark_spent(AlarmId id, SubscriberId s);
 
   bool spent(AlarmId id, SubscriberId s) const;
+
+  /// All (alarm, subscriber) pairs marked spent, sorted — the durable
+  /// trigger history exported into shard checkpoints (failover tier,
+  /// DESIGN.md §10).
+  std::vector<std::pair<AlarmId, SubscriberId>> spent_pairs() const;
 
   /// Forgets all trigger state (the alarm set itself is kept); used to run
   /// several strategies against the identical workload.

@@ -55,6 +55,9 @@ ShardedServer::Shard& ShardedServer::contact(alarms::SubscriberId s,
   const std::size_t owner = map_.shard_of(position);
   SALARM_ASSERT(owner == active_shard,
                 "position-taking call outside the active shard");
+  SALARM_ASSERT(!shard_down(owner),
+                "position-taking call reached a crashed shard (degraded-mode "
+                "clients must buffer instead)");
   SALARM_REQUIRE(s < sessions_.size(), "subscriber id out of range");
   Session& session = sessions_[s];
   Shard& shard = *shards_[owner];
@@ -74,6 +77,7 @@ ShardedServer::Shard& ShardedServer::contact(alarms::SubscriberId s,
       // absent id is cheap and safe.
       for (const alarms::AlarmId id : session.fired) {
         shard.store.mark_spent(id, s);
+        append_spent(owner, fo_tick_, id, s);
       }
     }
     session.shard = owner;
@@ -86,6 +90,9 @@ std::vector<alarms::AlarmId> ShardedServer::handle_position_update(
   Shard& shard = contact(s, position);
   std::vector<alarms::AlarmId> fired =
       shard.server.handle_position_update(s, position, tick);
+  for (const alarms::AlarmId id : fired) {
+    append_spent(map_.shard_of(position), tick, id, s);
+  }
   Session& session = sessions_[s];
   session.fired.insert(session.fired.end(), fired.begin(), fired.end());
   return fired;
@@ -100,6 +107,9 @@ std::vector<alarms::AlarmId> ShardedServer::handle_buffered_update(
   Shard& shard = contact(s, position);
   std::vector<alarms::AlarmId> fired =
       shard.server.handle_buffered_update(s, position, stamp_tick);
+  for (const alarms::AlarmId id : fired) {
+    append_spent(map_.shard_of(position), stamp_tick, id, s);
+  }
   Session& session = sessions_[s];
   session.fired.insert(session.fired.end(), fired.begin(), fired.end());
   return fired;
@@ -169,19 +179,271 @@ void ShardedServer::install_alarm(const alarms::SpatialAlarm& alarm,
   // its shard's extent, so the install reaches every shard that could hold
   // an affected grant; the per-shard invalidation queries run in stable
   // shard order, keeping sharded churn bit-identical at any thread count.
+  wire::JournalRecordMsg rec;
+  rec.kind = wire::JournalRecordMsg::Kind::kInstall;
+  rec.tick = tick;
+  rec.alarm = alarm;
+  rec.alarm_id = alarm.id;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
-    if (alarm.region.intersects(map_.shard_extent(i))) {
-      shards_[i]->server.install_alarm(alarm, tick);
+    if (!alarm.region.intersects(map_.shard_extent(i))) continue;
+    if (shard_down(i)) {
+      // The replica's owner is crashed: the install is deferred and
+      // applied — at this original tick — right after recovery. No client
+      // over the shard can observe the gap (they are all in degraded mode,
+      // buffering reports that flush only once the shard is back).
+      failover_->logs[i].deferred.push_back(rec);
+      continue;
     }
+    shards_[i]->server.install_alarm(alarm, tick);
+    append_churn(i, rec);
   }
 }
 
 bool ShardedServer::remove_alarm(alarms::AlarmId id, std::uint64_t tick) {
+  wire::JournalRecordMsg rec;
+  rec.kind = wire::JournalRecordMsg::Kind::kRemove;
+  rec.tick = tick;
+  rec.alarm_id = id;
   bool any = false;
-  for (auto& shard : shards_) {
-    if (shard->store.installed(id)) any |= shard->server.remove_alarm(id, tick);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    if (shard_down(i)) {
+      // A crashed shard's store is empty, so installed() cannot tell
+      // whether it held a replica — defer unconditionally; the deferred
+      // remove no-ops at recovery if the restored store lacks the id.
+      failover_->logs[i].deferred.push_back(rec);
+      any = true;
+      continue;
+    }
+    if (shard.store.installed(id)) {
+      any |= shard.server.remove_alarm(id, tick);
+      append_churn(i, rec);
+    }
   }
   return any;
+}
+
+void ShardedServer::enable_failover(const failover::FailoverConfig& config,
+                                    const failover::CrashPlan& plan) {
+  SALARM_REQUIRE(!failover_.has_value(), "failover already enabled");
+  SALARM_REQUIRE(plan.shard_count() == shards_.size(),
+                 "crash plan sized for a different shard count");
+  failover_.emplace();
+  failover_->config = config;
+  failover_->plan = &plan;
+  failover_->logs.resize(shards_.size());
+  // Baseline durability: a crash before the first periodic checkpoint must
+  // still recover, so every shard checkpoints its initial slice now.
+  for (std::size_t i = 0; i < shards_.size(); ++i) take_checkpoint(i, 0);
+}
+
+bool ShardedServer::shard_down(std::size_t shard) const {
+  return failover_.has_value() && failover_->logs[shard].down;
+}
+
+void ShardedServer::begin_failover_tick(std::uint64_t tick) {
+  SALARM_REQUIRE(failover_.has_value(), "failover is not enabled");
+  fo_tick_ = tick;
+  const failover::CrashPlan& plan = *failover_->plan;
+  // Recoveries strictly before crashes: windows are non-adjacent (a shard
+  // never crashes on its recovery tick), so the order only matters for
+  // keeping the sweep deterministic.
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (plan.recovers_at(i, tick)) recover_shard(i, tick);
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (plan.crashes_at(i, tick)) crash_shard(i, tick);
+  }
+}
+
+void ShardedServer::take_due_checkpoints(std::uint64_t tick) {
+  SALARM_REQUIRE(failover_.has_value(), "failover is not enabled");
+  if (tick == 0 || tick % failover_->config.checkpoint_interval_ticks != 0) {
+    return;
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (!failover_->logs[i].down) take_checkpoint(i, tick);
+  }
+}
+
+std::size_t ShardedServer::finish_failover(std::uint64_t ticks) {
+  SALARM_REQUIRE(failover_.has_value(), "failover is not enabled");
+  std::size_t recovered = 0;
+  fo_tick_ = ticks;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (!failover_->logs[i].down) continue;
+    recover_shard(i, ticks);
+    ++recovered;
+  }
+  return recovered;
+}
+
+std::size_t ShardedServer::compact_graveyards(std::uint64_t watermark) {
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    // A crashed shard's graveyard is already empty; its restored one is
+    // compacted on the next serial sweep after recovery.
+    if (shard_down(i)) continue;
+    dropped += shards_[i]->server.compact_graveyard(watermark);
+  }
+  return dropped;
+}
+
+void ShardedServer::crash_shard(std::size_t shard, std::uint64_t tick) {
+  ShardLog& log = failover_->logs[shard];
+  SALARM_ASSERT(!log.down, "crashing a shard that is already down");
+  log.down = true;
+  log.crash_tick = tick;
+  shards_[shard]->server.crash();
+  ++shards_[shard]->metrics.fo_crashes;
+}
+
+void ShardedServer::recover_shard(std::size_t shard, std::uint64_t tick) {
+  ShardLog& log = failover_->logs[shard];
+  SALARM_ASSERT(log.down, "recovering a shard that is not down");
+  Shard& sh = *shards_[shard];
+  log.down = false;
+
+  // 1. Restore the checkpoint: the exact bytes written before the crash.
+  const wire::ShardCheckpointMsg cp =
+      wire::decode_shard_checkpoint(log.checkpoint);
+  for (const auto& rec : cp.alarms) {
+    sh.server.restore_install(rec.alarm, rec.installed_at);
+  }
+  for (const auto& rec : cp.graveyard) {
+    sh.server.restore_tomb(rec.alarm, rec.installed_at, rec.removed_at);
+  }
+  for (const auto& rec : cp.spent) {
+    sh.server.restore_spent(rec.alarm, rec.subscriber);
+  }
+  for (const auto& rec : cp.grants) {
+    sh.server.restore_grant(rec.subscriber,
+                            static_cast<dynamics::GrantKind>(rec.kind),
+                            rec.bounds);
+  }
+
+  if (failover_->config.journal) {
+    // 2a. Journal mode: replay every post-checkpoint mutation in append
+    // order from the shard's own durable log.
+    for (const auto& bytes : log.journal) {
+      apply_restored(sh, wire::decode_journal_record(bytes));
+      ++sh.metrics.fo_journal_replays;
+    }
+  } else {
+    // 2b. Journal-less mode: redo post-checkpoint churn from the upstream
+    // ledger, then rebuild the trigger history from the clients — every
+    // subscriber still owned by this shard re-registers, shipping its
+    // carried fired list exactly like a session handoff would.
+    for (const auto& rec : log.redo) {
+      apply_restored(sh, rec);
+      ++sh.metrics.fo_redo_events;
+    }
+    for (alarms::SubscriberId s = 0; s < sessions_.size(); ++s) {
+      const Session& session = sessions_[s];
+      if (session.shard != shard) continue;
+      ++sh.metrics.fo_reregistrations;
+      sh.metrics.fo_reregistration_bytes +=
+          wire::handoff_message_size(session.fired.size());
+      for (const alarms::AlarmId id : session.fired) {
+        sh.store.mark_spent(id, s);
+      }
+    }
+  }
+
+  // 3. Apply churn that arrived during the downtime window, at its
+  // original ticks (the temporal filter of buffered reports depends on
+  // them). This is the deferred events' first application on this shard,
+  // so it runs through the normally-charged paths and is re-journaled for
+  // crash-again safety.
+  for (const auto& rec : log.deferred) {
+    if (rec.kind == wire::JournalRecordMsg::Kind::kInstall) {
+      sh.server.install_alarm(rec.alarm, rec.tick);
+    } else if (!sh.server.remove_alarm(rec.alarm_id, rec.tick)) {
+      continue;  // replica never existed here; nothing to journal
+    }
+    append_churn(shard, rec);
+    ++sh.metrics.fo_redo_events;
+  }
+  log.deferred.clear();
+
+  ++sh.metrics.fo_recoveries;
+  sh.metrics.fo_recovery_ticks += tick - log.crash_tick;
+}
+
+void ShardedServer::take_checkpoint(std::size_t shard, std::uint64_t tick) {
+  Shard& sh = *shards_[shard];
+  ShardLog& log = failover_->logs[shard];
+  wire::ShardCheckpointMsg cp;
+  cp.shard = static_cast<std::uint32_t>(shard);
+  cp.tick = tick;
+  for (const alarms::SpatialAlarm& a : sh.store.all()) {
+    cp.alarms.push_back({a, sh.server.installed_at(a.id)});
+  }
+  for (const sim::Server::Tomb& t : sh.server.graveyard()) {
+    cp.graveyard.push_back({t.alarm, t.installed_at, t.removed_at});
+  }
+  for (const auto& [alarm, subscriber] : sh.store.spent_pairs()) {
+    cp.spent.push_back({alarm, subscriber});
+  }
+  for (const auto& [subscriber, grant] : sh.server.grant_snapshot()) {
+    cp.grants.push_back(
+        {subscriber, static_cast<std::uint8_t>(grant.kind), grant.bounds});
+  }
+  log.checkpoint = wire::encode(cp);
+  // The checkpoint supersedes everything logged before it.
+  log.journal.clear();
+  log.redo.clear();
+  ++sh.metrics.fo_checkpoints;
+  sh.metrics.fo_checkpoint_bytes += log.checkpoint.size();
+}
+
+void ShardedServer::append_churn(std::size_t shard,
+                                 const wire::JournalRecordMsg& rec) {
+  if (!failover_.has_value()) return;
+  ShardLog& log = failover_->logs[shard];
+  if (failover_->config.journal) {
+    std::vector<std::uint8_t> bytes = wire::encode(rec);
+    ++shards_[shard]->metrics.fo_journal_records;
+    shards_[shard]->metrics.fo_journal_bytes += bytes.size();
+    log.journal.push_back(std::move(bytes));
+  } else {
+    // Upstream ledger: the churn source already holds this record, so the
+    // shard writes (and pays for) nothing.
+    log.redo.push_back(rec);
+  }
+}
+
+void ShardedServer::append_spent(std::size_t shard, std::uint64_t tick,
+                                 alarms::AlarmId id, alarms::SubscriberId s) {
+  if (!failover_.has_value() || !failover_->config.journal) {
+    // Journal-less recovery rebuilds spent state from client
+    // re-registration; there is nothing durable to write here.
+    return;
+  }
+  wire::JournalRecordMsg rec;
+  rec.kind = wire::JournalRecordMsg::Kind::kSpent;
+  rec.tick = tick;
+  rec.alarm_id = id;
+  rec.subscriber = s;
+  std::vector<std::uint8_t> bytes = wire::encode(rec);
+  ++shards_[shard]->metrics.fo_journal_records;
+  shards_[shard]->metrics.fo_journal_bytes += bytes.size();
+  failover_->logs[shard].journal.push_back(std::move(bytes));
+}
+
+void ShardedServer::apply_restored(Shard& shard,
+                                   const wire::JournalRecordMsg& rec) {
+  switch (rec.kind) {
+    case wire::JournalRecordMsg::Kind::kInstall:
+      shard.server.restore_install(rec.alarm, rec.tick);
+      break;
+    case wire::JournalRecordMsg::Kind::kRemove:
+      shard.server.restore_remove(rec.alarm_id, rec.tick);
+      break;
+    case wire::JournalRecordMsg::Kind::kSpent:
+      shard.server.restore_spent(rec.alarm_id, rec.subscriber);
+      break;
+  }
 }
 
 const alarms::AlarmStore& ShardedServer::shard_store(std::size_t shard) const {

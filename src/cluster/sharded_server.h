@@ -29,11 +29,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "alarms/alarm_store.h"
 #include "cluster/shard_map.h"
+#include "failover/crash_plan.h"
 #include "grid/grid_overlay.h"
+#include "saferegion/wire_format.h"
 #include "sim/metrics.h"
 #include "sim/server.h"
 #include "sim/server_api.h"
@@ -111,6 +114,38 @@ class ShardedServer final : public sim::ServerApi {
   /// phase only. Returns true if any replica existed.
   bool remove_alarm(alarms::AlarmId id, std::uint64_t tick);
 
+  // ---- Failover tier (DESIGN.md §10) ----
+  /// Arms crash-recovery: every shard gets a durability log (checkpoint +
+  /// journal or redo ledger per `config`) and a baseline tick-0 checkpoint
+  /// is written immediately, so a crash before the first periodic
+  /// checkpoint still recovers. The plan (which must outlive the server)
+  /// is consulted only by assertions here — the simulation drives crashes
+  /// and recoveries explicitly through begin_failover_tick so the
+  /// orchestration order is visible in one place.
+  void enable_failover(const failover::FailoverConfig& config,
+                       const failover::CrashPlan& plan);
+  bool failover_enabled() const { return failover_.has_value(); }
+  /// Whether the shard is currently crashed (clients must not contact it).
+  bool shard_down(std::size_t shard) const;
+
+  /// Serial-phase tick prologue: recovers every shard whose downtime
+  /// window ends at `tick`, then crashes every shard whose window begins
+  /// at `tick`. Runs before the tick's churn so deferred-churn bookkeeping
+  /// sees the final up/down state.
+  void begin_failover_tick(std::uint64_t tick);
+  /// Writes a checkpoint for every *up* shard when `tick` lands on the
+  /// configured cadence (down shards checkpoint again after recovery at
+  /// the next due tick). Serial phase, after churn.
+  void take_due_checkpoints(std::uint64_t tick);
+  /// End-of-run epilogue: recovers every still-down shard at tick `ticks`
+  /// so buffered reports can flush through it. Returns the number of
+  /// shards recovered.
+  std::size_t finish_failover(std::uint64_t ticks);
+  /// Compacts every shard's removal graveyard against the pending-stamp
+  /// watermark (see sim::Server::compact_graveyard); returns total tombs
+  /// dropped. Serial phase.
+  std::size_t compact_graveyards(std::uint64_t watermark);
+
   // ---- Cluster control / inspection ----
   /// Declares which shard the calling thread is processing; every
   /// subsequent ServerApi call on this thread must target it. The sharded
@@ -150,15 +185,61 @@ class ShardedServer final : public sim::ServerApi {
     std::vector<alarms::AlarmId> fired;
   };
 
+  /// One shard's durability state (failover tier). Touched from the
+  /// parallel path only by the thread holding the shard (spent-record
+  /// appends), like the shard's metrics; everything else is serial-phase.
+  struct ShardLog {
+    /// Last encoded checkpoint (tick-0 baseline until the first periodic
+    /// one); recovery decodes exactly these bytes.
+    std::vector<std::uint8_t> checkpoint;
+    /// Append-only journal of encoded post-checkpoint mutations
+    /// (journal mode); truncated at each checkpoint.
+    std::vector<std::vector<std::uint8_t>> journal;
+    /// Upstream churn redo ledger (journal-less mode): the churn source's
+    /// own post-checkpoint install/remove record, kept decoded because it
+    /// is not shard-written durable state (and therefore not charged as
+    /// journal bytes); truncated at each checkpoint.
+    std::vector<wire::JournalRecordMsg> redo;
+    /// Churn that arrived while the shard was down, applied (at original
+    /// ticks) right after recovery.
+    std::vector<wire::JournalRecordMsg> deferred;
+    std::uint64_t crash_tick = 0;
+    bool down = false;
+  };
+
+  struct FailoverState {
+    failover::FailoverConfig config;
+    const failover::CrashPlan* plan = nullptr;
+    std::vector<ShardLog> logs;
+  };
+
   /// Routes a position-taking call: resolves the owning shard, performs
   /// the session handoff if the subscriber just crossed a boundary, and
   /// returns the shard to forward to.
   Shard& contact(alarms::SubscriberId s, geo::Point position);
 
+  void crash_shard(std::size_t shard, std::uint64_t tick);
+  void recover_shard(std::size_t shard, std::uint64_t tick);
+  void take_checkpoint(std::size_t shard, std::uint64_t tick);
+  /// Appends a churn record durably for the shard (journal bytes in
+  /// journal mode, redo ledger otherwise). No-op without failover.
+  void append_churn(std::size_t shard, const wire::JournalRecordMsg& rec);
+  /// Journals one (alarm, subscriber) spent mark for the shard. No-op
+  /// without failover or in journal-less mode (re-registration rebuilds
+  /// spent state there). Parallel-path safe for the shard's owning thread.
+  void append_spent(std::size_t shard, std::uint64_t tick,
+                    alarms::AlarmId id, alarms::SubscriberId s);
+  /// Replays one decoded record through the uncharged restore paths.
+  void apply_restored(Shard& shard, const wire::JournalRecordMsg& rec);
+
   const grid::GridOverlay& grid_;
   ShardMap map_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<Session> sessions_;
+  std::optional<FailoverState> failover_;
+  /// Tick being processed, set by begin_failover_tick; gives tick-less
+  /// paths (handoff spent marks) a deterministic journal timestamp.
+  std::uint64_t fo_tick_ = 0;
 };
 
 }  // namespace salarm::cluster

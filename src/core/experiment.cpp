@@ -105,6 +105,10 @@ void Experiment::enable_channel(const net::ChannelConfig& config) {
   simulation_.set_channel(config, config_.seed * 49979687 + 5);
 }
 
+void Experiment::enable_failover(const failover::FailoverConfig& config) {
+  simulation_.set_failover(config, config_.seed * 67867979 + 6);
+}
+
 sim::Simulation::StrategyFactory Experiment::periodic() const {
   return [](net::ClientLink& link) {
     return std::make_unique<strategies::PeriodicStrategy>(link);

@@ -83,6 +83,10 @@ class Experiment {
   /// (independent of the network/trace/alarm/churn streams). The all-zero
   /// config restores the perfect pass-through link.
   void enable_channel(const net::ChannelConfig& config);
+  /// Arms shard crash-recovery for every subsequent sharded run
+  /// (DESIGN.md §10) under the experiment's derived failover seed
+  /// (independent of all other streams).
+  void enable_failover(const failover::FailoverConfig& config);
 
   // Strategy factories for Simulation::run. Each call builds a fresh
   // strategy instance bound to the run's client link.

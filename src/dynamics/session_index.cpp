@@ -1,5 +1,7 @@
 #include "dynamics/session_index.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace salarm::dynamics {
@@ -27,6 +29,17 @@ bool SessionIndex::clear(alarms::SubscriberId s) {
 const SessionIndex::Grant* SessionIndex::lookup(alarms::SubscriberId s) const {
   auto it = grants_.find(s);
   return it == grants_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<alarms::SubscriberId, SessionIndex::Grant>>
+SessionIndex::snapshot() const {
+  std::vector<std::pair<alarms::SubscriberId, Grant>> entries(grants_.begin(),
+                                                              grants_.end());
+  // The map iterates in hash order; checkpoints must be byte-identical
+  // across runs and thread counts, so sort by subscriber.
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
 }
 
 void SessionIndex::visit_intersecting(

@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "alarms/spatial_alarm.h"
 #include "dynamics/invalidation.h"
@@ -56,6 +58,11 @@ class SessionIndex {
       const std::function<bool(alarms::SubscriberId, const Grant&)>& fn) const;
 
   std::size_t size() const { return grants_.size(); }
+
+  /// All (subscriber, grant) entries sorted by subscriber id — the grant
+  /// table exported into shard checkpoints (failover tier, DESIGN.md §10).
+  /// Reads the side map only, so no R*-tree node accesses are charged.
+  std::vector<std::pair<alarms::SubscriberId, Grant>> snapshot() const;
 
   /// R*-tree node accesses since the last reset (cost-model input).
   std::uint64_t node_accesses() const { return tree_.node_accesses(); }

@@ -45,6 +45,40 @@ std::uint32_t ClientLink::uplink_seq(alarms::SubscriberId s) const {
   return state(s).uplink_seq;
 }
 
+void ClientLink::attach_failover(const cluster::ShardMap& map,
+                                 const failover::CrashPlan& plan) {
+  SALARM_REQUIRE(fo_plan_ == nullptr, "failover already attached");
+  fo_map_ = &map;
+  fo_plan_ = &plan;
+}
+
+bool ClientLink::degraded(const SubscriberState& st, geo::Point position,
+                          std::uint64_t tick) const {
+  if (fo_plan_ == nullptr) return false;
+  return !st.buffer.empty() ||
+         fo_plan_->down(fo_map_->shard_of(position), tick);
+}
+
+bool ClientLink::buffer_flushable(const SubscriberState& st,
+                                  std::uint64_t tick) const {
+  if (fo_plan_ == nullptr || !fo_plan_->any_down(tick)) return true;
+  for (const BufferedReport& r : st.buffer) {
+    if (fo_plan_->down(fo_map_->shard_of(r.position), tick)) return false;
+  }
+  return true;
+}
+
+std::uint64_t ClientLink::min_pending_stamp(std::uint64_t tick) const {
+  std::uint64_t min = tick;
+  for (const SubscriberState& st : states_) {
+    // Buffers are appended in tick order, so the front is the oldest.
+    if (!st.buffer.empty() && st.buffer.front().tick < min) {
+      min = st.buffer.front().tick;
+    }
+  }
+  return min;
+}
+
 std::uint64_t ClientLink::reliable_exchange(alarms::SubscriberId s, bool uplink,
                                             std::size_t payload_bytes,
                                             sim::Metrics& m) {
@@ -90,9 +124,15 @@ std::uint64_t ClientLink::reliable_exchange(alarms::SubscriberId s, bool uplink,
   }
   // Delivery latency seen by the receiver: exponential-backoff waits for
   // every failed round plus one one-way flight of the copy that made it.
+  // The per-round waits are recorded for introspection: the timeout starts
+  // at the base RTO on every fresh exchange (an ACK resets it) and doubles
+  // per retransmission.
+  auto& backoffs = state(s).last_backoffs;
+  backoffs.clear();
   double backoff_ms = 0.0;
   double rto_ms = channel_.base_rto_ms();
   for (std::uint64_t i = 1; i < rounds; ++i) {
+    backoffs.push_back(rto_ms);
     backoff_ms += rto_ms;
     rto_ms *= 2.0;
   }
@@ -103,15 +143,25 @@ std::uint64_t ClientLink::reliable_exchange(alarms::SubscriberId s, bool uplink,
 std::vector<alarms::AlarmId> ClientLink::report(alarms::SubscriberId s,
                                                 geo::Point position,
                                                 std::uint64_t tick) {
-  if (!config_.faulty()) return server_.handle_position_update(s, position, tick);
+  if (!config_.faulty() && fo_plan_ == nullptr) {
+    return server_.handle_position_update(s, position, tick);
+  }
   auto& st = state(s);
-  if (st.outage_remaining > 0) {
+  if (config_.faulty() && st.outage_remaining > 0) {
     // Lease fallback: the carrier is down, so the client logs the sample
     // for server-side checking at reconnect (DESIGN.md §9).
     st.buffer.push_back(BufferedReport{position, tick});
     ++server_.metrics().net_buffered_reports;
     return {};
   }
+  if (degraded(st, position, tick)) {
+    // The owning shard is crashed (or older reports are still queued
+    // behind a crashed shard): buffer for the post-recovery flush.
+    st.buffer.push_back(BufferedReport{position, tick});
+    ++server_.metrics().fo_buffered_reports;
+    return {};
+  }
+  if (!config_.faulty()) return server_.handle_position_update(s, position, tick);
   ++st.uplink_seq;
   auto fired = server_.handle_position_update(s, position, tick);
   reliable_exchange(s, /*uplink=*/true,
@@ -124,6 +174,7 @@ std::optional<saferegion::RectSafeRegion> ClientLink::request_rect_region(
     alarms::SubscriberId s, geo::Point position, double heading,
     const saferegion::MotionModel& model,
     const saferegion::MwpsrOptions& options) {
+  if (degraded(state(s), position, current_tick_)) return std::nullopt;
   if (!config_.faulty()) {
     return server_.compute_rect_region(s, position, heading, model, options);
   }
@@ -140,6 +191,7 @@ std::optional<saferegion::RectSafeRegion>
 ClientLink::request_corner_baseline_region(alarms::SubscriberId s,
                                            geo::Point position, double heading,
                                            const saferegion::MotionModel& model) {
+  if (degraded(state(s), position, current_tick_)) return std::nullopt;
   if (!config_.faulty()) {
     return server_.compute_corner_baseline_region(s, position, heading, model);
   }
@@ -153,6 +205,7 @@ ClientLink::request_corner_baseline_region(alarms::SubscriberId s,
 std::optional<saferegion::PyramidBitmap> ClientLink::request_pyramid_region(
     alarms::SubscriberId s, geo::Point position,
     const saferegion::PyramidConfig& config) {
+  if (degraded(state(s), position, current_tick_)) return std::nullopt;
   if (!config_.faulty()) {
     return server_.compute_pyramid_region(s, position, config);
   }
@@ -166,6 +219,7 @@ std::optional<double> ClientLink::request_safe_period(alarms::SubscriberId s,
                                                       geo::Point position,
                                                       double max_speed_mps,
                                                       double tick_seconds) {
+  if (degraded(state(s), position, current_tick_)) return std::nullopt;
   if (!config_.faulty()) {
     return server_.compute_safe_period(s, position, max_speed_mps,
                                        tick_seconds);
@@ -179,6 +233,7 @@ std::optional<double> ClientLink::request_safe_period(alarms::SubscriberId s,
 
 std::optional<std::vector<const alarms::SpatialAlarm*>>
 ClientLink::request_alarms(alarms::SubscriberId s, geo::Point position) {
+  if (degraded(state(s), position, current_tick_)) return std::nullopt;
   if (!config_.faulty()) return server_.push_alarms(s, position);
   if (state(s).outage_remaining > 0) return std::nullopt;
   auto alarms = server_.push_alarms(s, position);
@@ -188,21 +243,29 @@ ClientLink::request_alarms(alarms::SubscriberId s, geo::Point position) {
 
 std::vector<dynamics::InvalidationPush> ClientLink::take_invalidations(
     alarms::SubscriberId s) {
-  if (!config_.faulty()) return server_.take_invalidations(s);
+  if (!config_.faulty() && fo_plan_ == nullptr) {
+    return server_.take_invalidations(s);
+  }
   auto& st = state(s);
-  if (st.outage_remaining > 0) {
+  if (config_.faulty() && st.outage_remaining > 0) {
     // Server pushes cannot reach a disconnected client; only the client's
     // own carrier-loss revoke is delivered (no wire traffic involved).
     return std::exchange(st.pending_synthetic, {});
   }
+  // A crashed shard's mailboxes are empty (cleared at the crash, installs
+  // deferred), so draining is safe and returns only up-shard pushes even
+  // while the subscriber's own shard is down.
   auto pushes = server_.take_invalidations(s);
-  sim::Metrics& m = server_.metrics();
-  for (const auto& push : pushes) {
-    // Leased downlink: each push is retransmitted until the client's ACK
-    // arrives, so a connected client receives every push within its tick.
-    reliable_exchange(s, /*uplink=*/false,
-                      wire::invalidation_message_size(push.message.size()), m);
-    ++st.downlink_seq;
+  if (config_.faulty()) {
+    sim::Metrics& m = server_.metrics();
+    for (const auto& push : pushes) {
+      // Leased downlink: each push is retransmitted until the client's ACK
+      // arrives, so a connected client receives every push within its tick.
+      reliable_exchange(s, /*uplink=*/false,
+                        wire::invalidation_message_size(push.message.size()),
+                        m);
+      ++st.downlink_seq;
+    }
   }
   if (!st.pending_synthetic.empty()) {
     // Leftover carrier-loss revoke from an outage the strategy never
@@ -220,28 +283,52 @@ void ClientLink::enable_public_bitmap_cache(
   server_.enable_public_bitmap_cache(config);
 }
 
-void ClientLink::begin_tick(std::uint64_t) {
-  if (!config_.faulty()) return;
+void ClientLink::begin_tick(std::uint64_t tick,
+                            std::span<const mobility::VehicleSample> samples) {
+  current_tick_ = tick;
+  const bool fo = fo_plan_ != nullptr;
+  if (!config_.faulty() && !fo) return;
+  SALARM_REQUIRE(!fo || samples.size() == states_.size(),
+                 "failover begin_tick needs one sample per subscriber");
   for (std::size_t i = 0; i < states_.size(); ++i) {
     const auto s = static_cast<alarms::SubscriberId>(i);
     auto& st = states_[i];
-    if (st.outage_remaining > 0) {
-      --st.outage_remaining;
-      if (st.outage_remaining == 0) {
-        // Reconnect: re-establish the lease by flushing the buffered
-        // samples through server-side checking before the strategy runs.
-        flush_buffer(s);
-      } else {
+    // Channel outage machine (identical draws/counters to a failover-less
+    // run: the channel never learns about crashes).
+    if (config_.faulty()) {
+      if (st.outage_remaining > 0) {
+        --st.outage_remaining;
+        if (st.outage_remaining > 0) {
+          ++link_metrics_.net_lease_fallback_ticks;
+        }
+      } else if (channel_.outage_starts(s)) {
+        st.outage_remaining = channel_.outage_duration_ticks(s);
+        // Carrier loss voids the lease client-side: the client cannot ACK
+        // pushes any more, so it conservatively drops whatever grant it
+        // holds (synthetic revoke, drained at its next on_tick).
+        st.pending_synthetic.push_back(dynamics::InvalidationPush{});
+        ++link_metrics_.net_outages;
         ++link_metrics_.net_lease_fallback_ticks;
       }
-    } else if (channel_.outage_starts(s)) {
-      st.outage_remaining = channel_.outage_duration_ticks(s);
-      // Carrier loss voids the lease client-side: the client cannot ACK
-      // pushes any more, so it conservatively drops whatever grant it
-      // holds (synthetic revoke, drained at its next on_tick).
-      st.pending_synthetic.push_back(dynamics::InvalidationPush{});
-      ++link_metrics_.net_outages;
-      ++link_metrics_.net_lease_fallback_ticks;
+    }
+    // Degraded-mode machine: a crash of the subscriber's owning shard
+    // voids its grant the same way a carrier loss does — the server side
+    // of the lease just evaporated.
+    if (fo) {
+      const std::size_t shard = fo_map_->shard_of(samples[i].pos);
+      if (fo_plan_->crashes_at(shard, tick)) {
+        st.pending_synthetic.push_back(dynamics::InvalidationPush{});
+        ++link_metrics_.fo_grant_voids;
+      }
+      if (fo_plan_->down(shard, tick)) ++link_metrics_.fo_degraded_ticks;
+    }
+    // Reconnect: once the carrier is up and every buffered position's
+    // shard is back, flush the backlog through server-side checking
+    // before the strategy runs. (Without failover this fires exactly on
+    // the outage's last tick, as before.)
+    if (st.outage_remaining == 0 && !st.buffer.empty() &&
+        buffer_flushable(st, tick)) {
+      flush_buffer(s);
     }
   }
 }
@@ -249,22 +336,25 @@ void ClientLink::begin_tick(std::uint64_t) {
 void ClientLink::flush_buffer(alarms::SubscriberId s) {
   auto& st = state(s);
   for (const auto& r : st.buffer) {
-    ++st.uplink_seq;
     server_.handle_buffered_update(s, r.position, r.tick);
-    // The flushed report still crosses the (now restored) faulty link.
-    reliable_exchange(s, /*uplink=*/true,
-                      wire::encoded_size(wire::PositionUpdate{}),
-                      link_metrics_);
+    if (config_.faulty()) {
+      // The flushed report still crosses the (now restored) faulty link.
+      ++st.uplink_seq;
+      reliable_exchange(s, /*uplink=*/true,
+                        wire::encoded_size(wire::PositionUpdate{}),
+                        link_metrics_);
+    }
   }
   st.buffer.clear();
 }
 
 void ClientLink::finish() {
-  if (!config_.faulty()) return;
+  if (!config_.faulty() && fo_plan_ == nullptr) return;
   for (std::size_t i = 0; i < states_.size(); ++i) {
     // An outage spanning the end of the run still flushes: a real client
     // delivers its backlog on eventual reconnect, and the oracle's ground
-    // truth covers those ticks.
+    // truth covers those ticks. (With failover, the simulation recovers
+    // every still-down shard before calling finish.)
     flush_buffer(static_cast<alarms::SubscriberId>(i));
   }
 }

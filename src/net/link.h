@@ -27,9 +27,21 @@
 //    that was live at each report's original tick. Every uncovered tick is
 //    counted as net_lease_fallback_ticks.
 //
+// Degraded mode (failover tier, DESIGN.md §10): on sharded runs with
+// crash-recovery armed (attach_failover), a client whose owning shard
+// crashes voids its grant the moment the crash happens (the lease cannot
+// be renewed — same synthetic-revoke mechanism as a carrier loss) and
+// falls back to buffering its reports while the shard is down. The buffer
+// flushes through handle_buffered_update once every buffered position's
+// shard is back up, so mid-crash triggers fire at their true tick; while
+// any report is still buffered, newer reports keep buffering too —
+// flushing out of order could fire a border alarm at the wrong tick.
+//
 // With the all-zero ChannelConfig (the default) the protocol is a provable
 // no-op, so the link is a pure pass-through: zero Rng draws, zero extra
 // metrics, bit-identical accounting to calling the server directly.
+// Attaching failover to a perfect channel keeps that property: no channel
+// draws ever happen; only the crash plan (itself precomputed) is read.
 //
 // Threading (sharded runs): per-subscriber protocol state is only ever
 // touched by the shard task processing that subscriber's tick, and all
@@ -39,8 +51,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "cluster/shard_map.h"
+#include "failover/crash_plan.h"
+#include "mobility/trace.h"
 #include "net/channel.h"
 #include "sim/server_api.h"
 
@@ -53,11 +69,25 @@ class ClientLink {
   ClientLink(sim::ServerApi& server, const ChannelConfig& config,
              std::uint64_t seed, std::size_t subscriber_count);
 
+  /// Arms degraded-mode handling for a sharded crash-recovery run: the map
+  /// resolves each subscriber's owning shard, the plan answers whether it
+  /// is down. Both must outlive the link. Requires the two-argument
+  /// begin_tick overload from then on (crash detection needs positions).
+  void attach_failover(const cluster::ShardMap& map,
+                       const failover::CrashPlan& plan);
+  bool failover_attached() const { return fo_plan_ != nullptr; }
+
   /// Serial per-tick bookkeeping: advances outage state machines, injects
-  /// synthetic revokes when a carrier drops, and flushes buffered reports
-  /// through the server when an outage ends. Must run after alarm churn is
-  /// applied and before any strategy processes the tick.
-  void begin_tick(std::uint64_t tick);
+  /// synthetic revokes when a carrier drops or the subscriber's shard
+  /// crashes (failover), and flushes buffered reports through the server
+  /// once the client is connected and every buffered position's shard is
+  /// up. Must run after crash/recovery and alarm churn are applied and
+  /// before any strategy processes the tick. `samples` carries each
+  /// subscriber's current position (indexed by subscriber id); required
+  /// when failover is attached, ignored otherwise.
+  void begin_tick(std::uint64_t tick,
+                  std::span<const mobility::VehicleSample> samples);
+  void begin_tick(std::uint64_t tick) { begin_tick(tick, {}); }
 
   /// Serial end-of-run bookkeeping: flushes reports still buffered by
   /// clients whose outage spans the end of the run, so no trigger is lost.
@@ -111,6 +141,18 @@ class ClientLink {
   bool in_outage(alarms::SubscriberId s) const;
   /// Test introspection: next uplink sequence number of the subscriber.
   std::uint32_t uplink_seq(alarms::SubscriberId s) const;
+  /// Test introspection: the backoff waits (ms) of the subscriber's most
+  /// recent reliable exchange, one entry per retransmitted round. Lives in
+  /// per-subscriber state so parallel shard tasks never share it.
+  const std::vector<double>& last_exchange_backoffs(
+      alarms::SubscriberId s) const {
+    return state(s).last_backoffs;
+  }
+
+  /// Smallest original tick still buffered by any subscriber, or `tick`
+  /// when nothing is buffered — the watermark below which removal-
+  /// graveyard tombs can no longer be observed (Server::compact_graveyard).
+  std::uint64_t min_pending_stamp(std::uint64_t tick) const;
 
  private:
   struct BufferedReport {
@@ -123,6 +165,7 @@ class ClientLink {
     std::uint64_t outage_remaining = 0;  ///< ticks of outage left (0 = up)
     std::vector<BufferedReport> buffer;  ///< reports pending reconnect flush
     std::vector<dynamics::InvalidationPush> pending_synthetic;
+    std::vector<double> last_backoffs;   ///< waits of the latest exchange
   };
 
   SubscriberState& state(alarms::SubscriberId s);
@@ -139,11 +182,28 @@ class ClientLink {
   /// at reconnect (or end of run). Serial phase only.
   void flush_buffer(alarms::SubscriberId s);
 
+  /// Whether the subscriber's buffer may flush at `tick`: every buffered
+  /// position's owning shard must be up (always true without failover).
+  bool buffer_flushable(const SubscriberState& st, std::uint64_t tick) const;
+
+  /// Degraded mode: true when failover is attached and either the shard
+  /// owning `position` is down at `tick` or older reports are still
+  /// buffered (report ordering discipline).
+  bool degraded(const SubscriberState& st, geo::Point position,
+                std::uint64_t tick) const;
+
   sim::ServerApi& server_;
   ChannelConfig config_;
   FaultyChannel channel_;
   std::vector<SubscriberState> states_;
   sim::Metrics link_metrics_;
+
+  // Failover tier (null unless attach_failover was called).
+  const cluster::ShardMap* fo_map_ = nullptr;
+  const failover::CrashPlan* fo_plan_ = nullptr;
+  /// Tick being processed (set by begin_tick): request_* calls carry no
+  /// tick, but the degraded-mode check needs one.
+  std::uint64_t current_tick_ = 0;
 };
 
 }  // namespace salarm::net

@@ -18,6 +18,9 @@ class ByteWriter {
   void u32(std::uint32_t v) {
     for (int i = 0; i < 4; ++i) bytes_.push_back((v >> (8 * i)) & 0xFF);
   }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes_.push_back((v >> (8 * i)) & 0xFF);
+  }
   void f64(double v) {
     std::uint64_t raw;
     std::memcpy(&raw, &v, sizeof(raw));
@@ -57,6 +60,16 @@ class ByteReader {
     pos_ += 4;
     return v;
   }
+  std::uint64_t u64() {
+    SALARM_REQUIRE(pos_ + 8 <= bytes_.size(), "message truncated");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
   double f64() {
     SALARM_REQUIRE(pos_ + 8 <= bytes_.size(), "message truncated");
     std::uint64_t raw = 0;
@@ -117,6 +130,44 @@ void check_type(ByteReader& r, MessageType expected) {
 }
 
 constexpr std::size_t kRectBytes = 4 * 8;
+
+// Full alarm descriptor inside checkpoint / journal records:
+// id(4) scope(1) owner(4) rect(32) sub-count(2) subscribers(4 each)
+// msg-len(2) message. At least 45 bytes.
+constexpr std::size_t kMinAlarmBytes = 4 + 1 + 4 + kRectBytes + 2 + 2;
+
+void write_alarm(ByteWriter& w, const alarms::SpatialAlarm& a) {
+  w.u32(a.id);
+  w.u8(static_cast<std::uint8_t>(a.scope));
+  w.u32(a.owner);
+  write_rect(w, a.region);
+  SALARM_REQUIRE(a.subscribers.size() <= 0xFFFF,
+                 "alarm subscriber list too long");
+  w.u16(static_cast<std::uint16_t>(a.subscribers.size()));
+  for (const alarms::SubscriberId s : a.subscribers) w.u32(s);
+  write_string(w, a.message);
+}
+
+alarms::SpatialAlarm read_alarm(ByteReader& r) {
+  alarms::SpatialAlarm a;
+  a.id = r.u32();
+  const std::uint8_t scope = r.u8();
+  SALARM_REQUIRE(scope <= 2, "unknown alarm scope");
+  a.scope = static_cast<alarms::AlarmScope>(scope);
+  a.owner = r.u32();
+  a.region = read_rect(r);
+  const std::uint16_t count = r.u16();
+  SALARM_REQUIRE(static_cast<std::size_t>(count) * 4 <= r.remaining(),
+                 "alarm subscriber list exceeds payload");
+  a.subscribers.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) a.subscribers.push_back(r.u32());
+  a.message = read_string(r);
+  return a;
+}
+
+std::size_t alarm_size(const alarms::SpatialAlarm& a) {
+  return kMinAlarmBytes + 4 * a.subscribers.size() + a.message.size();
+}
 
 }  // namespace
 
@@ -410,6 +461,182 @@ std::size_t ack_message_size() { return 1 + 4 + 4; }
 
 std::size_t handoff_message_size(std::size_t spent_alarms) {
   return 1 + 4 + 16 + 8 + 4 + 4 + 1 + 4 + spent_alarms * 4;
+}
+
+// --------------------------------------------------------------------------
+// ShardCheckpointMsg: type(1) shard(4) tick(8)
+//   alarm-count(4)  [alarm, installed_at(8)] ...
+//   tomb-count(4)   [alarm, installed_at(8), removed_at(8)] ...
+//   spent-count(4)  [alarm(4), subscriber(4)] ...
+//   grant-count(4)  [subscriber(4), kind(1), rect(32)] ...
+// Every count is validated against the remaining payload *before* the
+// reserve, so a corrupted (or hostile) count cannot drive an allocation.
+// --------------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const ShardCheckpointMsg& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kShardCheckpoint));
+  w.u32(m.shard);
+  w.u64(m.tick);
+  w.u32(static_cast<std::uint32_t>(m.alarms.size()));
+  for (const ShardCheckpointMsg::AlarmRec& rec : m.alarms) {
+    write_alarm(w, rec.alarm);
+    w.u64(rec.installed_at);
+  }
+  w.u32(static_cast<std::uint32_t>(m.graveyard.size()));
+  for (const ShardCheckpointMsg::TombRec& rec : m.graveyard) {
+    write_alarm(w, rec.alarm);
+    w.u64(rec.installed_at);
+    w.u64(rec.removed_at);
+  }
+  w.u32(static_cast<std::uint32_t>(m.spent.size()));
+  for (const ShardCheckpointMsg::SpentRec& rec : m.spent) {
+    w.u32(rec.alarm);
+    w.u32(rec.subscriber);
+  }
+  w.u32(static_cast<std::uint32_t>(m.grants.size()));
+  for (const ShardCheckpointMsg::GrantRec& rec : m.grants) {
+    w.u32(rec.subscriber);
+    w.u8(rec.kind);
+    write_rect(w, rec.bounds);
+  }
+  return std::move(w).take();
+}
+
+ShardCheckpointMsg decode_shard_checkpoint(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  check_type(r, MessageType::kShardCheckpoint);
+  ShardCheckpointMsg m;
+  m.shard = r.u32();
+  m.tick = r.u64();
+
+  const std::uint32_t alarm_count = r.u32();
+  SALARM_REQUIRE(alarm_count <= r.remaining() / (kMinAlarmBytes + 8),
+                 "checkpoint alarm count exceeds payload");
+  m.alarms.reserve(alarm_count);
+  for (std::uint32_t i = 0; i < alarm_count; ++i) {
+    ShardCheckpointMsg::AlarmRec rec;
+    rec.alarm = read_alarm(r);
+    rec.installed_at = r.u64();
+    m.alarms.push_back(std::move(rec));
+  }
+
+  const std::uint32_t tomb_count = r.u32();
+  SALARM_REQUIRE(tomb_count <= r.remaining() / (kMinAlarmBytes + 16),
+                 "checkpoint tomb count exceeds payload");
+  m.graveyard.reserve(tomb_count);
+  for (std::uint32_t i = 0; i < tomb_count; ++i) {
+    ShardCheckpointMsg::TombRec rec;
+    rec.alarm = read_alarm(r);
+    rec.installed_at = r.u64();
+    rec.removed_at = r.u64();
+    SALARM_REQUIRE(rec.removed_at > rec.installed_at,
+                   "checkpoint tomb lifetime is empty");
+    m.graveyard.push_back(std::move(rec));
+  }
+
+  const std::uint32_t spent_count = r.u32();
+  SALARM_REQUIRE(spent_count <= r.remaining() / 8,
+                 "checkpoint spent count exceeds payload");
+  m.spent.reserve(spent_count);
+  for (std::uint32_t i = 0; i < spent_count; ++i) {
+    ShardCheckpointMsg::SpentRec rec;
+    rec.alarm = r.u32();
+    rec.subscriber = r.u32();
+    m.spent.push_back(rec);
+  }
+
+  const std::uint32_t grant_count = r.u32();
+  SALARM_REQUIRE(grant_count <= r.remaining() / (4 + 1 + kRectBytes),
+                 "checkpoint grant count exceeds payload");
+  m.grants.reserve(grant_count);
+  for (std::uint32_t i = 0; i < grant_count; ++i) {
+    ShardCheckpointMsg::GrantRec rec;
+    rec.subscriber = r.u32();
+    rec.kind = r.u8();
+    SALARM_REQUIRE(rec.kind <= 3, "unknown grant kind");
+    rec.bounds = read_rect(r);
+    m.grants.push_back(rec);
+  }
+  r.expect_done();
+  return m;
+}
+
+std::size_t encoded_size(const ShardCheckpointMsg& m) {
+  std::size_t size = 1 + 4 + 8 + 4 + 4 + 4 + 4;
+  for (const ShardCheckpointMsg::AlarmRec& rec : m.alarms) {
+    size += alarm_size(rec.alarm) + 8;
+  }
+  for (const ShardCheckpointMsg::TombRec& rec : m.graveyard) {
+    size += alarm_size(rec.alarm) + 16;
+  }
+  size += m.spent.size() * 8;
+  size += m.grants.size() * (4 + 1 + kRectBytes);
+  return size;
+}
+
+// --------------------------------------------------------------------------
+// JournalRecordMsg: type(1) kind(1) tick(8) then
+//   kInstall: alarm | kRemove: id(4) | kSpent: id(4) subscriber(4)
+// --------------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const JournalRecordMsg& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kJournalRecord));
+  w.u8(static_cast<std::uint8_t>(m.kind));
+  w.u64(m.tick);
+  switch (m.kind) {
+    case JournalRecordMsg::Kind::kInstall:
+      write_alarm(w, m.alarm);
+      break;
+    case JournalRecordMsg::Kind::kRemove:
+      w.u32(m.alarm_id);
+      break;
+    case JournalRecordMsg::Kind::kSpent:
+      w.u32(m.alarm_id);
+      w.u32(m.subscriber);
+      break;
+  }
+  return std::move(w).take();
+}
+
+JournalRecordMsg decode_journal_record(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  check_type(r, MessageType::kJournalRecord);
+  JournalRecordMsg m;
+  const std::uint8_t kind = r.u8();
+  SALARM_REQUIRE(kind <= 2, "unknown journal record kind");
+  m.kind = static_cast<JournalRecordMsg::Kind>(kind);
+  m.tick = r.u64();
+  switch (m.kind) {
+    case JournalRecordMsg::Kind::kInstall:
+      m.alarm = read_alarm(r);
+      m.alarm_id = m.alarm.id;
+      break;
+    case JournalRecordMsg::Kind::kRemove:
+      m.alarm_id = r.u32();
+      break;
+    case JournalRecordMsg::Kind::kSpent:
+      m.alarm_id = r.u32();
+      m.subscriber = r.u32();
+      break;
+  }
+  r.expect_done();
+  return m;
+}
+
+std::size_t encoded_size(const JournalRecordMsg& m) {
+  const std::size_t header = 1 + 1 + 8;
+  switch (m.kind) {
+    case JournalRecordMsg::Kind::kInstall:
+      return header + alarm_size(m.alarm);
+    case JournalRecordMsg::Kind::kRemove:
+      return header + 4;
+    case JournalRecordMsg::Kind::kSpent:
+      return header + 4 + 4;
+  }
+  return header;
 }
 
 }  // namespace salarm::wire

@@ -34,6 +34,8 @@ enum class MessageType : std::uint8_t {
   kShardHandoff = 7,     ///< shard -> shard (cluster session transfer)
   kInvalidation = 8,     ///< server -> client (grant invalidation push)
   kAck = 9,              ///< either direction (reliability protocol)
+  kShardCheckpoint = 10, ///< shard -> durable store (failover tier)
+  kJournalRecord = 11,   ///< shard -> durable log (failover tier)
 };
 
 /// Client position report. `seq` is the per-session uplink sequence number
@@ -111,6 +113,56 @@ struct AckMsg {
   std::uint32_t seq = 0;
 };
 
+/// Periodic shard checkpoint (failover tier, DESIGN.md §10): one shard's
+/// durable state as of `tick` — the installed alarm replicas with their
+/// install ticks, the removal graveyard with alarm lifetimes, the spent
+/// (alarm, subscriber) trigger history, and the outstanding-grant table of
+/// the invalidation protocol. Recovery decodes exactly these bytes, so the
+/// format is load-bearing, not an estimate.
+struct ShardCheckpointMsg {
+  struct AlarmRec {
+    alarms::SpatialAlarm alarm;
+    std::uint64_t installed_at = 0;  ///< 0 = loaded at run start
+  };
+  struct TombRec {
+    alarms::SpatialAlarm alarm;
+    std::uint64_t installed_at = 0;
+    std::uint64_t removed_at = 0;
+  };
+  struct SpentRec {
+    alarms::AlarmId alarm = 0;
+    alarms::SubscriberId subscriber = 0;
+  };
+  struct GrantRec {
+    alarms::SubscriberId subscriber = 0;
+    std::uint8_t kind = 0;  ///< dynamics::GrantKind
+    geo::Rect bounds{geo::Point{}, geo::Point{}};
+  };
+  std::uint32_t shard = 0;
+  std::uint64_t tick = 0;
+  std::vector<AlarmRec> alarms;     ///< store slot order
+  std::vector<TombRec> graveyard;   ///< removal order
+  std::vector<SpentRec> spent;      ///< sorted (alarm, subscriber)
+  std::vector<GrantRec> grants;     ///< sorted by subscriber
+};
+
+/// One append-only journal record (failover tier, DESIGN.md §10): a
+/// post-checkpoint durable mutation of one shard. Install records carry
+/// the full alarm (the store must be reconstructible from checkpoint +
+/// journal alone); remove and spent records carry only ids.
+struct JournalRecordMsg {
+  enum class Kind : std::uint8_t {
+    kInstall = 0,  ///< online alarm install (churn)
+    kRemove = 1,   ///< online alarm removal (churn / TTL expiry)
+    kSpent = 2,    ///< (alarm, subscriber) fired or handed off here
+  };
+  Kind kind = Kind::kInstall;
+  std::uint64_t tick = 0;
+  alarms::SpatialAlarm alarm;           ///< kInstall only
+  alarms::AlarmId alarm_id = 0;         ///< kRemove / kSpent
+  alarms::SubscriberId subscriber = 0;  ///< kSpent only
+};
+
 // Encoders return the full message bytes (type byte included); decoders
 // check the type byte and throw PreconditionError on malformed input.
 std::vector<std::uint8_t> encode(const PositionUpdate& m);
@@ -121,6 +173,8 @@ std::vector<std::uint8_t> encode(const SafePeriodMsg& m);
 std::vector<std::uint8_t> encode(const TriggerNoticeMsg& m);
 std::vector<std::uint8_t> encode(const InvalidationMsg& m);
 std::vector<std::uint8_t> encode(const AckMsg& m);
+std::vector<std::uint8_t> encode(const ShardCheckpointMsg& m);
+std::vector<std::uint8_t> encode(const JournalRecordMsg& m);
 
 PositionUpdate decode_position_update(std::span<const std::uint8_t> bytes);
 RectSafeRegionMsg decode_rect_safe_region(std::span<const std::uint8_t> bytes);
@@ -131,6 +185,8 @@ SafePeriodMsg decode_safe_period(std::span<const std::uint8_t> bytes);
 TriggerNoticeMsg decode_trigger_notice(std::span<const std::uint8_t> bytes);
 InvalidationMsg decode_invalidation(std::span<const std::uint8_t> bytes);
 AckMsg decode_ack(std::span<const std::uint8_t> bytes);
+ShardCheckpointMsg decode_shard_checkpoint(std::span<const std::uint8_t> bytes);
+JournalRecordMsg decode_journal_record(std::span<const std::uint8_t> bytes);
 
 /// Exact encoded sizes, for the accounting paths that do not materialize
 /// bytes (hot simulation loops).
@@ -141,6 +197,8 @@ std::size_t encoded_size(const AlarmPushMsg& m);
 std::size_t encoded_size(const SafePeriodMsg& m);
 std::size_t encoded_size(const TriggerNoticeMsg& m);
 std::size_t encoded_size(const InvalidationMsg& m);
+std::size_t encoded_size(const ShardCheckpointMsg& m);
+std::size_t encoded_size(const JournalRecordMsg& m);
 
 /// Size of a pyramid safe-region message for a bitmap of the given bit
 /// count, without building the message.

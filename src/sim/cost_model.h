@@ -19,6 +19,8 @@
 //    each counted operation 0.1 us.
 #pragma once
 
+#include <algorithm>
+
 #include "sim/metrics.h"
 
 namespace salarm::sim {
@@ -32,6 +34,13 @@ struct CostModel {
   double rx_mwh_per_byte = 1e-6;
   /// Server seconds per counted elementary operation.
   double server_seconds_per_op = 1e-7;
+  /// Server seconds per durable byte written (checkpoint + journal):
+  /// ~100 MB/s sequential append/fsync budget on 2009-era disks.
+  double server_seconds_per_durable_byte = 1e-8;
+  /// Server seconds per record applied at recovery (journal replay, redo
+  /// ledger, deferred churn): decode plus one index update, heavier than
+  /// an elementary op.
+  double server_seconds_per_replayed_record = 1e-6;
 
   /// Client energy spent determining the position against the safe region,
   /// in mWh — the paper's client-energy metric (Figures 5(b), 6(c)).
@@ -92,6 +101,40 @@ struct CostModel {
 
   double server_total_minutes(const Metrics& m) const {
     return server_alarm_minutes(m) + server_region_minutes(m);
+  }
+
+  // ---- Failover tier (DESIGN.md §10; all zero on immortal runs) ----
+
+  /// Modeled server time spent writing durable state (periodic checkpoints
+  /// plus journal appends), in minutes — the steady-state price of being
+  /// recoverable, paid even when nothing ever crashes.
+  double durability_server_minutes(const Metrics& m) const {
+    return static_cast<double>(m.fo_checkpoint_bytes + m.fo_journal_bytes) *
+           server_seconds_per_durable_byte / 60.0;
+  }
+
+  /// Modeled server time spent recovering crashed shards (checkpoint
+  /// reload at the durable-byte rate, plus journal/redo/deferred records
+  /// re-applied), in minutes.
+  double recovery_server_minutes(const Metrics& m) const {
+    const double records =
+        static_cast<double>(m.fo_journal_replays + m.fo_redo_events);
+    return (static_cast<double>(m.fo_checkpoint_bytes) / std::max(
+                static_cast<double>(m.fo_checkpoints), 1.0) *
+                static_cast<double>(m.fo_recoveries) *
+                server_seconds_per_durable_byte +
+            records * server_seconds_per_replayed_record) /
+           60.0;
+  }
+
+  /// Client radio energy attributable to crash-recovery alone, in mWh:
+  /// journal-less re-registration uplinks (priced like any transmission,
+  /// with their session payload received back as bytes) plus the buffered
+  /// reports flushed after recovery (each one a deferred transmission).
+  double failover_overhead_mwh(const Metrics& m) const {
+    return tx_mwh_per_message * static_cast<double>(m.fo_reregistrations +
+                                                    m.fo_buffered_reports) +
+           rx_mwh_per_byte * static_cast<double>(m.fo_reregistration_bytes);
   }
 };
 

@@ -27,6 +27,20 @@ void Metrics::merge(const Metrics& other) {
   net_buffered_reports += other.net_buffered_reports;
   net_outages += other.net_outages;
   net_delivery_latency_ms.merge(other.net_delivery_latency_ms);
+  fo_crashes += other.fo_crashes;
+  fo_recoveries += other.fo_recoveries;
+  fo_recovery_ticks += other.fo_recovery_ticks;
+  fo_checkpoints += other.fo_checkpoints;
+  fo_checkpoint_bytes += other.fo_checkpoint_bytes;
+  fo_journal_records += other.fo_journal_records;
+  fo_journal_bytes += other.fo_journal_bytes;
+  fo_journal_replays += other.fo_journal_replays;
+  fo_redo_events += other.fo_redo_events;
+  fo_reregistrations += other.fo_reregistrations;
+  fo_reregistration_bytes += other.fo_reregistration_bytes;
+  fo_grant_voids += other.fo_grant_voids;
+  fo_degraded_ticks += other.fo_degraded_ticks;
+  fo_buffered_reports += other.fo_buffered_reports;
   safe_region_recomputes += other.safe_region_recomputes;
   triggers += other.triggers;
   region_payload_bytes.merge(other.region_payload_bytes);
@@ -53,6 +67,19 @@ std::string Metrics::to_string() const {
      << " net_lease_fallback_ticks=" << net_lease_fallback_ticks
      << " net_buffered_reports=" << net_buffered_reports
      << " net_outages=" << net_outages
+     << " fo_crashes=" << fo_crashes << " fo_recoveries=" << fo_recoveries
+     << " fo_recovery_ticks=" << fo_recovery_ticks
+     << " fo_checkpoints=" << fo_checkpoints
+     << " fo_checkpoint_bytes=" << fo_checkpoint_bytes
+     << " fo_journal_records=" << fo_journal_records
+     << " fo_journal_bytes=" << fo_journal_bytes
+     << " fo_journal_replays=" << fo_journal_replays
+     << " fo_redo_events=" << fo_redo_events
+     << " fo_reregistrations=" << fo_reregistrations
+     << " fo_reregistration_bytes=" << fo_reregistration_bytes
+     << " fo_grant_voids=" << fo_grant_voids
+     << " fo_degraded_ticks=" << fo_degraded_ticks
+     << " fo_buffered_reports=" << fo_buffered_reports
      << " recomputes=" << safe_region_recomputes
      << " triggers=" << triggers;
   return os.str();

@@ -85,6 +85,34 @@ struct Metrics {
   /// Per-exchange delivery latency (ms): backoff waits plus one-way flight.
   RunningStat net_delivery_latency_ms;
 
+  // ---- Failover tier (shard crash-recovery; zero on immortal runs) ----
+  /// Shard crashes injected and recoveries completed.
+  std::uint64_t fo_crashes = 0;
+  std::uint64_t fo_recoveries = 0;
+  /// Shard-ticks of downtime across all crashes (crash tick to recovery).
+  std::uint64_t fo_recovery_ticks = 0;
+  /// Periodic durable checkpoints written and their encoded bytes.
+  std::uint64_t fo_checkpoints = 0;
+  std::uint64_t fo_checkpoint_bytes = 0;
+  /// Append-only journal records written and their encoded bytes.
+  std::uint64_t fo_journal_records = 0;
+  std::uint64_t fo_journal_bytes = 0;
+  /// Journal records replayed at recoveries (journal mode).
+  std::uint64_t fo_journal_replays = 0;
+  /// Upstream churn-ledger events redone at recoveries (journal-less
+  /// mode), plus downtime churn applied after recovery in either mode.
+  std::uint64_t fo_redo_events = 0;
+  /// Client re-registrations rebuilding session state after a journal-less
+  /// recovery, and their message bytes.
+  std::uint64_t fo_reregistrations = 0;
+  std::uint64_t fo_reregistration_bytes = 0;
+  /// Client-side degraded mode: grants voided when the owning shard
+  /// crashed, subscriber-ticks spent over a down shard, and position
+  /// reports buffered for post-recovery server-side checking.
+  std::uint64_t fo_grant_voids = 0;
+  std::uint64_t fo_degraded_ticks = 0;
+  std::uint64_t fo_buffered_reports = 0;
+
   // ---- Outcomes ----
   std::uint64_t safe_region_recomputes = 0;
   std::uint64_t triggers = 0;

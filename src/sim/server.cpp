@@ -376,4 +376,65 @@ std::vector<dynamics::InvalidationPush> Server::take_invalidations(
   return std::exchange(mailboxes_[s], {});
 }
 
+void Server::crash() {
+  store_.clear();
+  installed_at_.clear();
+  graveyard_.clear();
+  sessions_ = dynamics::SessionIndex{};
+  // Mailboxes were drained by every strategy at its last on_tick and
+  // installs only run in the serial phase, so they are empty between
+  // ticks; clear each slot (never the vector itself — the pre-sized shape
+  // is what keeps the parallel path allocation-free).
+  for (auto& box : mailboxes_) box.clear();
+  if (cache_config_.has_value()) {
+    public_cache_.assign(grid_.cell_count(), std::nullopt);
+  }
+}
+
+void Server::restore_install(const alarms::SpatialAlarm& alarm,
+                             std::uint64_t installed_at) {
+  store_.install(alarm);
+  // Tick 0 means "loaded at run start": absent from the map, exactly as
+  // before the crash (the buffered-report filter treats both identically).
+  if (installed_at > 0) installed_at_[alarm.id] = installed_at;
+}
+
+void Server::restore_remove(alarms::AlarmId id, std::uint64_t removed_at) {
+  if (!store_.installed(id)) return;
+  const auto it = installed_at_.find(id);
+  const std::uint64_t born = it == installed_at_.end() ? 0 : it->second;
+  graveyard_.push_back(Tomb{store_.alarm(id), born, removed_at});
+  store_.uninstall(id);
+  installed_at_.erase(id);
+}
+
+void Server::restore_tomb(const alarms::SpatialAlarm& alarm,
+                          std::uint64_t installed_at,
+                          std::uint64_t removed_at) {
+  graveyard_.push_back(Tomb{alarm, installed_at, removed_at});
+}
+
+void Server::restore_spent(alarms::AlarmId id, alarms::SubscriberId s) {
+  store_.mark_spent(id, s);
+}
+
+void Server::restore_grant(alarms::SubscriberId s, dynamics::GrantKind kind,
+                           const geo::Rect& bounds) {
+  if (!dynamics_enabled_) return;
+  sessions_.record(s, kind, bounds);
+}
+
+std::uint64_t Server::installed_at(alarms::AlarmId id) const {
+  const auto it = installed_at_.find(id);
+  return it == installed_at_.end() ? 0 : it->second;
+}
+
+std::size_t Server::compact_graveyard(std::uint64_t watermark) {
+  const std::size_t before = graveyard_.size();
+  std::erase_if(graveyard_, [&](const Tomb& tomb) {
+    return tomb.removed_at <= watermark;
+  });
+  return before - graveyard_.size();
+}
+
 }  // namespace salarm::sim

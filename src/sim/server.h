@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "alarms/alarm_store.h"
@@ -140,6 +141,55 @@ class Server final : public ServerApi {
   std::vector<dynamics::InvalidationPush> take_invalidations(
       alarms::SubscriberId s) override;
 
+  // ---- Failover tier (DESIGN.md §10; every call is serial-phase only) ----
+
+  /// A removed alarm's copy with its [installed, removed) lifetime, kept
+  /// for temporal evaluation of outage-buffered reports.
+  struct Tomb {
+    alarms::SpatialAlarm alarm;
+    std::uint64_t installed_at = 0;
+    std::uint64_t removed_at = 0;
+  };
+
+  /// Simulates a process crash: everything a real shard process keeps in
+  /// memory is dropped — the alarm index (spent state included), the
+  /// install-tick map, the removal graveyard, the outstanding-grant table,
+  /// the invalidation mailboxes and the public-bitmap cache (reset cold;
+  /// its configuration survives in the restarted binary). Metrics and the
+  /// trigger log survive on purpose: they are the run's *measurements*
+  /// (delivered notices live with the clients), not server state.
+  void crash();
+
+  /// Recovery restore paths. They rebuild durable state without
+  /// re-counting it as fresh work: the original install/remove/fire was
+  /// charged before the crash (metrics survive the crash), so restores
+  /// only touch the store — recovery effort is priced separately from the
+  /// fo_* counters by the cost model.
+  void restore_install(const alarms::SpatialAlarm& alarm,
+                       std::uint64_t installed_at);
+  void restore_remove(alarms::AlarmId id, std::uint64_t removed_at);
+  void restore_tomb(const alarms::SpatialAlarm& alarm,
+                    std::uint64_t installed_at, std::uint64_t removed_at);
+  void restore_spent(alarms::AlarmId id, alarms::SubscriberId s);
+  void restore_grant(alarms::SubscriberId s, dynamics::GrantKind kind,
+                     const geo::Rect& bounds);
+
+  /// Checkpoint export accessors.
+  std::uint64_t installed_at(alarms::AlarmId id) const;
+  const std::vector<Tomb>& graveyard() const { return graveyard_; }
+  std::vector<std::pair<alarms::SubscriberId, dynamics::SessionIndex::Grant>>
+  grant_snapshot() const {
+    return sessions_.snapshot();
+  }
+
+  /// Drops graveyard tombs no pending buffered report can still observe: a
+  /// tomb is only consulted for reports stamped strictly before its
+  /// removal tick, so once every pending buffered stamp is >= `watermark`,
+  /// tombs with removed_at <= watermark are dead. Uncharged maintenance
+  /// bookkeeping (it shrinks, never adds, buffered-path work). Returns the
+  /// number of tombs dropped.
+  std::size_t compact_graveyard(std::uint64_t watermark);
+
   const grid::GridOverlay& grid() const override { return grid_; }
   alarms::AlarmStore& store() { return store_; }
   Metrics& metrics() override { return metrics_; }
@@ -181,13 +231,10 @@ class Server final : public ServerApi {
   /// Temporal alarm-lifetime bookkeeping for outage-buffered reports
   /// (DESIGN.md §9). Alarms absent from installed_at_ were loaded at run
   /// start (tick 0). The graveyard keeps a copy of every online-removed
-  /// alarm with its lifetime; it is scanned linearly (one elementary op
-  /// per tomb) only on the rare buffered-report path.
-  struct Tomb {
-    alarms::SpatialAlarm alarm;
-    std::uint64_t installed_at = 0;
-    std::uint64_t removed_at = 0;
-  };
+  /// alarm with its lifetime (Tomb, declared public for the failover
+  /// tier's checkpoints); it is scanned linearly (one elementary op per
+  /// tomb) only on the rare buffered-report path, and compacted against
+  /// the pending-stamp watermark (compact_graveyard).
   std::unordered_map<alarms::AlarmId, std::uint64_t> installed_at_;
   std::vector<Tomb> graveyard_;
 

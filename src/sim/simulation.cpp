@@ -70,6 +70,20 @@ void Simulation::set_channel(const net::ChannelConfig& config,
   // the ground truth, so the cached oracle stays valid on purpose.
 }
 
+void Simulation::set_failover(const failover::FailoverConfig& config,
+                              std::uint64_t seed) {
+  SALARM_REQUIRE(config.crash_per_tick >= 0.0 && config.crash_per_tick < 1.0,
+                 "crash_per_tick must be in [0, 1)");
+  SALARM_REQUIRE(config.crash_mean_down_ticks >= 1.0,
+                 "crash_mean_down_ticks must be >= 1");
+  SALARM_REQUIRE(config.checkpoint_interval_ticks >= 1,
+                 "checkpoint_interval_ticks must be >= 1");
+  failover_config_ = config;
+  failover_seed_ = seed;
+  // Crashes are like channel faults: they change the recovery work, not
+  // the ground truth, so the cached oracle stays valid on purpose.
+}
+
 void Simulation::rewind_store() {
   if (!scheduler_.has_value()) return;
   store_.clear();
@@ -92,6 +106,8 @@ void Simulation::apply_churn(
 }
 
 RunResult Simulation::run(const StrategyFactory& factory) {
+  SALARM_REQUIRE(!failover_config_.has_value(),
+                 "failover requires the sharded run mode");
   const auto& expected = oracle();  // ensure cached before timing the run
 
   rewind_store();
@@ -125,6 +141,12 @@ RunResult Simulation::run(const StrategyFactory& factory) {
     apply_churn(
         t, [&](const alarms::SpatialAlarm& a) { server.install_alarm(a, t); },
         [&](alarms::AlarmId id) { (void)server.remove_alarm(id, t); });
+    // Graveyard maintenance: tombs no pending buffered report can observe
+    // are dropped. The watermark is read before the flush below, which is
+    // merely conservative (the flushed stamps are themselves >= it).
+    if (scheduler_.has_value()) {
+      (void)server.compact_graveyard(link.min_pending_stamp(t));
+    }
     // Serial channel phase: outage bookkeeping and reconnect flushes see
     // the post-churn alarm state of tick t (no-op on a perfect channel).
     link.begin_tick(t);
@@ -168,8 +190,18 @@ RunResult Simulation::run_sharded(const StrategyFactory& factory,
     server.enable_dynamics(source_.vehicle_count());
     scheduler_->reset();
   }
+  // Crash-recovery: the plan is drawn fresh per run from the armed seed —
+  // a pure function of (seed, shard count, ticks) — so every strategy
+  // faces the identical crash schedule and replays are bit-identical.
+  std::optional<failover::CrashPlan> crash_plan;
+  if (failover_config_.has_value()) {
+    crash_plan.emplace(*failover_config_, server.shard_count(), ticks_,
+                       failover_seed_);
+    server.enable_failover(*failover_config_, *crash_plan);
+  }
   net::ClientLink link(server, channel_config_, channel_seed_,
                        source_.vehicle_count());
+  if (crash_plan.has_value()) link.attach_failover(server.map(), *crash_plan);
   const auto strategy = factory(link);
   result.strategy = std::string(strategy->name());
 
@@ -207,21 +239,40 @@ RunResult Simulation::run_sharded(const StrategyFactory& factory,
   });
   for (std::size_t t = 1; t < ticks_; ++t) {
     source_.step();
+    // Serial failover phase: shards scheduled to recover at t restore
+    // checkpoint + journal (or redo + re-registration) first, then shards
+    // scheduled to crash at t lose their volatile state — so the tick's
+    // churn below sees the final up/down picture and defers accordingly.
+    if (crash_plan.has_value()) server.begin_failover_tick(t);
     // Serial churn phase between parallel ticks: installs replicate to
     // every extent-intersecting shard and queue invalidation pushes before
-    // any worker thread starts on tick t.
+    // any worker thread starts on tick t; replicas owned by a crashed
+    // shard are deferred until its recovery.
     apply_churn(
         t, [&](const alarms::SpatialAlarm& a) { server.install_alarm(a, t); },
         [&](alarms::AlarmId id) { (void)server.remove_alarm(id, t); });
+    // Periodic durability: up shards checkpoint on the configured cadence,
+    // truncating their journals.
+    if (crash_plan.has_value()) server.take_due_checkpoints(t);
+    // Graveyard maintenance (see the monolithic loop).
+    if (scheduler_.has_value()) {
+      (void)server.compact_graveyards(link.min_pending_stamp(t));
+    }
     // Serial channel phase between parallel ticks: outage state machines
-    // advance and reconnect flushes run before any worker thread starts.
-    // Per-subscriber fault streams make the in-tick draws independent of
-    // the thread count, so results stay bit-identical.
-    link.begin_tick(t);
+    // advance, shard crashes void their clients' grants, and reconnect
+    // flushes run before any worker thread starts. Per-subscriber fault
+    // streams make the in-tick draws independent of the thread count, so
+    // results stay bit-identical.
+    link.begin_tick(t, source_.samples());
     fan_out(
         [&](mobility::VehicleId v, const mobility::VehicleSample& sample) {
           strategy->on_tick(v, sample, t);
         });
+  }
+  // Shards still down when the trace ends recover now, so the end-of-run
+  // flush below can deliver every buffered report.
+  if (crash_plan.has_value()) {
+    (void)server.finish_failover(static_cast<std::uint64_t>(ticks_));
   }
   link.finish();
   const auto end = std::chrono::steady_clock::now();

@@ -15,6 +15,7 @@
 
 #include "alarms/alarm_store.h"
 #include "dynamics/churn.h"
+#include "failover/crash_plan.h"
 #include "grid/grid_overlay.h"
 #include "mobility/position_source.h"
 #include "net/channel.h"
@@ -101,6 +102,17 @@ class Simulation {
 
   const net::ChannelConfig& channel_config() const { return channel_config_; }
 
+  /// Arms shard crash-recovery for every subsequent *sharded* run
+  /// (DESIGN.md §10): a fresh CrashPlan is drawn per run from (seed, shard
+  /// count, ticks), shards checkpoint/journal per `config`, and clients
+  /// degrade while their shard is down. Crashes never change the ground
+  /// truth — the oracle stays valid — only the recovery work needed to
+  /// preserve it. Monolithic run() refuses to start while armed (a
+  /// single-server crash has no failover story).
+  void set_failover(const failover::FailoverConfig& config,
+                    std::uint64_t seed);
+  bool failover_enabled() const { return failover_config_.has_value(); }
+
   bool churn_enabled() const { return scheduler_.has_value(); }
   /// The precomputed churn timeline; only valid after set_churn.
   const dynamics::AlarmScheduler& churn_scheduler() const;
@@ -130,6 +142,8 @@ class Simulation {
   std::vector<alarms::SpatialAlarm> initial_alarms_;
   net::ChannelConfig channel_config_{};
   std::uint64_t channel_seed_ = 0;
+  std::optional<failover::FailoverConfig> failover_config_;
+  std::uint64_t failover_seed_ = 0;
 };
 
 }  // namespace salarm::sim
