@@ -77,6 +77,10 @@ class AlarmStore {
   void move_alarm(AlarmId id, const geo::Rect& new_region);
 
   std::size_t size() const { return alarms_.size(); }
+  /// Node capacity of the R*-tree index; the cluster tier builds shard
+  /// slices with the same capacity so per-query node-access counts match
+  /// the source store's.
+  std::size_t rtree_node_capacity() const { return rtree_node_capacity_; }
   const SpatialAlarm& alarm(AlarmId id) const;
   const std::vector<SpatialAlarm>& all() const { return alarms_; }
 

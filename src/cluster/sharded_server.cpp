@@ -16,8 +16,9 @@ thread_local std::size_t active_shard = static_cast<std::size_t>(-1);
 }  // namespace
 
 ShardedServer::Shard::Shard(std::vector<alarms::SpatialAlarm> slice,
-                            const grid::GridOverlay& grid)
-    : server(store, grid, metrics) {
+                            const grid::GridOverlay& grid,
+                            std::size_t rtree_node_capacity)
+    : store(rtree_node_capacity), server(store, grid, metrics) {
   store.install_bulk(std::move(slice));
 }
 
@@ -30,12 +31,15 @@ ShardedServer::ShardedServer(const alarms::AlarmStore& global_alarms,
   for (std::size_t i = 0; i < map_.shard_count(); ++i) {
     // Replicate every alarm whose region (closed) intersects the shard
     // extent: shard-local cell and point queries are closed too, so the
-    // slice answers them exactly as the global store would.
+    // slice answers them exactly as the global store would. The slice
+    // inherits the source store's index node capacity so node-access
+    // accounting is comparable.
     std::vector<alarms::SpatialAlarm> slice;
     for (const alarms::SpatialAlarm& a : global_alarms.all()) {
       if (a.region.intersects(map_.shard_extent(i))) slice.push_back(a);
     }
-    shards_.push_back(std::make_unique<Shard>(std::move(slice), grid));
+    shards_.push_back(std::make_unique<Shard>(
+        std::move(slice), grid, global_alarms.rtree_node_capacity()));
   }
 }
 

@@ -17,13 +17,17 @@
 // may be owned by another thread at that moment) — which marks those
 // alarms spent in the destination store before the contact proceeds.
 //
-// Threading/determinism contract: the caller (sim::Simulation's sharded
-// run mode) groups subscribers by owning shard each tick and processes
-// each group on one thread after set_active_shard(); a shard's store,
-// metrics and server are only ever touched by the thread holding its
-// group, and per-subscriber sessions only by the thread processing that
-// subscriber. Merged results use stable shard order, so metrics and
-// trigger logs are bit-identical for any thread count.
+// Threading/determinism contract: the caller (sim::TickPipeline, the one
+// tick loop every run mode shares — DESIGN.md §11) groups subscribers by
+// owning shard each tick and processes each group on one thread after
+// set_active_shard(); a shard's store, metrics and server are only ever
+// touched by the thread holding its group, and per-subscriber sessions
+// only by the thread processing that subscriber. Merged results use
+// stable shard order, so metrics and trigger logs are bit-identical for
+// any thread count. Single-node operation is shard_count = 1: one slice
+// holding every alarm, no handoffs, an infinite escape distance — the
+// per-shard sim::Server then behaves exactly like the paper's monolithic
+// evaluation server.
 #pragma once
 
 #include <cstddef>
@@ -171,7 +175,7 @@ class ShardedServer final : public sim::ServerApi {
   /// references into its siblings).
   struct Shard {
     Shard(std::vector<alarms::SpatialAlarm> slice,
-          const grid::GridOverlay& grid);
+          const grid::GridOverlay& grid, std::size_t rtree_node_capacity);
     alarms::AlarmStore store;
     sim::Metrics metrics;
     sim::Server server;

@@ -1,9 +1,7 @@
 #include "sim/simulation.h"
 
-#include <algorithm>
 #include <chrono>
 
-#include "cluster/parallel_executor.h"
 #include "cluster/sharded_server.h"
 #include "common/error.h"
 
@@ -29,9 +27,15 @@ const std::vector<alarms::TriggerEvent>& Simulation::oracle() {
       oracle_ = ground_truth_triggers(
           source_, store_, ticks_,
           [&](std::size_t t, alarms::AlarmStore& store) {
-            apply_churn(
-                t, [&](const alarms::SpatialAlarm& a) { store.install(a); },
-                [&](alarms::AlarmId id) { (void)store.uninstall(id); });
+            scheduler_->for_each_due(
+                static_cast<std::uint64_t>(t),
+                [&](const dynamics::ChurnEvent& e) {
+                  if (e.kind == dynamics::ChurnEvent::Kind::kInstall) {
+                    store.install(e.alarm);
+                  } else {
+                    (void)store.uninstall(e.id);
+                  }
+                });
           });
       rewind_store();
     } else {
@@ -90,88 +94,17 @@ void Simulation::rewind_store() {
   store_.install_bulk(initial_alarms_);
 }
 
-void Simulation::apply_churn(
-    std::size_t t,
-    const std::function<void(const alarms::SpatialAlarm&)>& install,
-    const std::function<void(alarms::AlarmId)>& remove) {
-  if (!scheduler_.has_value()) return;
-  scheduler_->for_each_due(
-      static_cast<std::uint64_t>(t), [&](const dynamics::ChurnEvent& e) {
-        if (e.kind == dynamics::ChurnEvent::Kind::kInstall) {
-          install(e.alarm);
-        } else {
-          remove(e.id);
-        }
-      });
-}
-
 RunResult Simulation::run(const StrategyFactory& factory) {
-  SALARM_REQUIRE(!failover_config_.has_value(),
-                 "failover requires the sharded run mode");
-  const auto& expected = oracle();  // ensure cached before timing the run
-
-  rewind_store();
-  store_.reset_triggers();
-  store_.reset_index_node_accesses();
-  source_.reset();
-
-  RunResult result;
-  result.ticks = ticks_;
-  result.subscribers = source_.vehicle_count();
-  result.duration_s = duration_s();
-
-  Server server(store_, grid_, result.metrics);
-  if (scheduler_.has_value()) {
-    server.enable_dynamics(source_.vehicle_count());
-    scheduler_->reset();
-  }
-  net::ClientLink link(server, channel_config_, channel_seed_,
-                       source_.vehicle_count());
-  const auto strategy = factory(link);
-  result.strategy = std::string(strategy->name());
-
-  const auto start = std::chrono::steady_clock::now();
-  for (mobility::VehicleId v = 0; v < source_.samples().size(); ++v) {
-    strategy->initialize(v, source_.samples()[v]);
-  }
-  for (std::size_t t = 1; t < ticks_; ++t) {
-    source_.step();
-    // Serial churn phase: the server installs/removes alarms and queues
-    // invalidation pushes before any subscriber of tick t is processed.
-    apply_churn(
-        t, [&](const alarms::SpatialAlarm& a) { server.install_alarm(a, t); },
-        [&](alarms::AlarmId id) { (void)server.remove_alarm(id, t); });
-    // Graveyard maintenance: tombs no pending buffered report can observe
-    // are dropped. The watermark is read before the flush below, which is
-    // merely conservative (the flushed stamps are themselves >= it).
-    if (scheduler_.has_value()) {
-      (void)server.compact_graveyard(link.min_pending_stamp(t));
-    }
-    // Serial channel phase: outage bookkeeping and reconnect flushes see
-    // the post-churn alarm state of tick t (no-op on a perfect channel).
-    link.begin_tick(t);
-    const auto& samples = source_.samples();
-    for (mobility::VehicleId v = 0; v < samples.size(); ++v) {
-      strategy->on_tick(v, samples[v], t);
-    }
-  }
-  // Clients still in outage at the end of the trace flush their buffered
-  // reports before the run is scored.
-  link.finish();
-  const auto end = std::chrono::steady_clock::now();
-  result.wall_seconds =
-      std::chrono::duration<double>(end - start).count();
-
-  result.metrics.merge(link.link_metrics());
-  result.trigger_log = server.trigger_log();
-  std::sort(result.trigger_log.begin(), result.trigger_log.end());
-  result.accuracy = compare_triggers(expected, result.trigger_log);
-  store_.reset_triggers();
-  return result;
+  return run_impl(factory, 1, 1);
 }
 
 RunResult Simulation::run_sharded(const StrategyFactory& factory,
                                   const ShardedRunOptions& options) {
+  return run_impl(factory, options.shards, options.threads);
+}
+
+RunResult Simulation::run_impl(const StrategyFactory& factory,
+                               std::size_t shards, std::size_t threads) {
   const auto& expected = oracle();  // ensure cached before timing the run
 
   rewind_store();  // before slicing: shards replicate the initial set
@@ -184,7 +117,7 @@ RunResult Simulation::run_sharded(const StrategyFactory& factory,
   result.subscribers = source_.vehicle_count();
   result.duration_s = duration_s();
 
-  cluster::ShardedServer server(store_, grid_, options.shards,
+  cluster::ShardedServer server(store_, grid_, shards,
                                 source_.vehicle_count());
   if (scheduler_.has_value()) {
     server.enable_dynamics(source_.vehicle_count());
@@ -205,81 +138,19 @@ RunResult Simulation::run_sharded(const StrategyFactory& factory,
   const auto strategy = factory(link);
   result.strategy = std::string(strategy->name());
 
-  cluster::ParallelTickExecutor executor(options.threads);
-  std::vector<std::vector<mobility::VehicleId>> groups(server.shard_count());
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(server.shard_count());
-
-  // Regroups subscribers by owning shard (stable subscriber order within a
-  // group) and fans one task per shard over the pool. Each task declares
-  // its shard active and then touches only that shard's state plus the
-  // sessions of its own subscribers — the determinism contract of
-  // cluster/sharded_server.h.
-  const auto fan_out = [&](auto&& per_subscriber) {
-    const auto& samples = source_.samples();
-    for (auto& group : groups) group.clear();
-    for (mobility::VehicleId v = 0; v < samples.size(); ++v) {
-      groups[server.map().shard_of(samples[v].pos)].push_back(v);
-    }
-    tasks.clear();
-    for (std::size_t i = 0; i < groups.size(); ++i) {
-      tasks.push_back([&, i] {
-        server.set_active_shard(i);
-        for (const mobility::VehicleId v : groups[i]) {
-          per_subscriber(v, samples[v]);
-        }
-      });
-    }
-    executor.run(tasks);
-  };
-
+  TickPipeline pipeline(source_, server, link, *strategy, ticks_, threads,
+                        scheduler_.has_value() ? &*scheduler_ : nullptr,
+                        crash_plan.has_value() ? &*crash_plan : nullptr,
+                        phase_observer_);
   const auto start = std::chrono::steady_clock::now();
-  fan_out([&](mobility::VehicleId v, const mobility::VehicleSample& sample) {
-    strategy->initialize(v, sample);
-  });
-  for (std::size_t t = 1; t < ticks_; ++t) {
-    source_.step();
-    // Serial failover phase: shards scheduled to recover at t restore
-    // checkpoint + journal (or redo + re-registration) first, then shards
-    // scheduled to crash at t lose their volatile state — so the tick's
-    // churn below sees the final up/down picture and defers accordingly.
-    if (crash_plan.has_value()) server.begin_failover_tick(t);
-    // Serial churn phase between parallel ticks: installs replicate to
-    // every extent-intersecting shard and queue invalidation pushes before
-    // any worker thread starts on tick t; replicas owned by a crashed
-    // shard are deferred until its recovery.
-    apply_churn(
-        t, [&](const alarms::SpatialAlarm& a) { server.install_alarm(a, t); },
-        [&](alarms::AlarmId id) { (void)server.remove_alarm(id, t); });
-    // Periodic durability: up shards checkpoint on the configured cadence,
-    // truncating their journals.
-    if (crash_plan.has_value()) server.take_due_checkpoints(t);
-    // Graveyard maintenance (see the monolithic loop).
-    if (scheduler_.has_value()) {
-      (void)server.compact_graveyards(link.min_pending_stamp(t));
-    }
-    // Serial channel phase between parallel ticks: outage state machines
-    // advance, shard crashes void their clients' grants, and reconnect
-    // flushes run before any worker thread starts. Per-subscriber fault
-    // streams make the in-tick draws independent of the thread count, so
-    // results stay bit-identical.
-    link.begin_tick(t, source_.samples());
-    fan_out(
-        [&](mobility::VehicleId v, const mobility::VehicleSample& sample) {
-          strategy->on_tick(v, sample, t);
-        });
-  }
-  // Shards still down when the trace ends recover now, so the end-of-run
-  // flush below can deliver every buffered report.
-  if (crash_plan.has_value()) {
-    (void)server.finish_failover(static_cast<std::uint64_t>(ticks_));
-  }
-  link.finish();
+  pipeline.run();
   const auto end = std::chrono::steady_clock::now();
   result.wall_seconds = std::chrono::duration<double>(end - start).count();
 
   result.metrics = server.merged_metrics();
   result.metrics.merge(link.link_metrics());
+  // Canonical (tick, subscriber, alarm) order, produced in exactly one
+  // place for every run mode (cluster::ShardedServer::merged_trigger_log).
   result.trigger_log = server.merged_trigger_log();
   result.accuracy = compare_triggers(expected, result.trigger_log);
   store_.reset_triggers();

@@ -23,6 +23,7 @@
 #include "sim/metrics.h"
 #include "sim/oracle.h"
 #include "sim/server.h"
+#include "sim/tick_pipeline.h"
 #include "strategies/strategy.h"
 
 namespace salarm::sim {
@@ -69,15 +70,20 @@ class Simulation {
       std::unique_ptr<strategies::ProcessingStrategy>(net::ClientLink&)>;
 
   /// Replays the trace from the start under a fresh strategy instance and
-  /// returns its metrics and accuracy against the oracle.
+  /// returns its metrics and accuracy against the oracle. Shorthand for
+  /// run_sharded with {shards = 1, threads = 1}: single-node operation is
+  /// the one-shard degenerate case of the same TickPipeline (DESIGN.md
+  /// §11), bit-identical to the historical monolithic loop (the golden
+  /// test in tests/pipeline_test.cpp pins this).
   RunResult run(const StrategyFactory& factory);
 
-  /// As run(), but processes the trace on a cluster::ShardedServer:
-  /// subscribers are grouped by owning shard each tick and the groups fan
-  /// out over a fixed thread pool. Metrics are the stable-order merge of
-  /// the per-shard metrics; results are bit-identical for any thread
-  /// count. Accuracy against the oracle is still enforced by the caller's
-  /// tests — sharding is exact (see cluster/sharded_server.h).
+  /// Processes the trace on a cluster::ShardedServer through the unified
+  /// TickPipeline: subscribers are grouped by owning shard each tick and
+  /// the groups fan out over a fixed thread pool. Metrics are the
+  /// stable-order merge of the per-shard metrics; results are
+  /// bit-identical for any thread count. Accuracy against the oracle is
+  /// still enforced by the caller's tests — sharding is exact (see
+  /// cluster/sharded_server.h).
   RunResult run_sharded(const StrategyFactory& factory,
                         const ShardedRunOptions& options);
 
@@ -102,13 +108,14 @@ class Simulation {
 
   const net::ChannelConfig& channel_config() const { return channel_config_; }
 
-  /// Arms shard crash-recovery for every subsequent *sharded* run
-  /// (DESIGN.md §10): a fresh CrashPlan is drawn per run from (seed, shard
-  /// count, ticks), shards checkpoint/journal per `config`, and clients
-  /// degrade while their shard is down. Crashes never change the ground
-  /// truth — the oracle stays valid — only the recovery work needed to
-  /// preserve it. Monolithic run() refuses to start while armed (a
-  /// single-server crash has no failover story).
+  /// Arms shard crash-recovery for every subsequent run (DESIGN.md §10):
+  /// a fresh CrashPlan is drawn per run from (seed, shard count, ticks),
+  /// shards checkpoint/journal per `config`, and clients degrade while
+  /// their shard is down. Crashes never change the ground truth — the
+  /// oracle stays valid — only the recovery work needed to preserve it.
+  /// Because run() is a one-shard cluster, single-server crash-recovery
+  /// works too: a crash of shard 0 takes the whole service down and every
+  /// client buffers until recovery.
   void set_failover(const failover::FailoverConfig& config,
                     std::uint64_t seed);
   bool failover_enabled() const { return failover_config_.has_value(); }
@@ -123,15 +130,20 @@ class Simulation {
     return static_cast<double>(ticks_) * tick_seconds();
   }
 
+  /// Test hook: observes every serial phase the pipeline enters, on every
+  /// subsequent run (see sim/tick_pipeline.h). Pass {} to detach.
+  void set_phase_observer(TickPipeline::PhaseObserver observer) {
+    phase_observer_ = std::move(observer);
+  }
+
  private:
   /// Rewinds the store to the churn snapshot (no-op without churn).
   void rewind_store();
-  /// Applies all churn events due at tick t through the given install /
-  /// remove hooks (no-op without churn). Serial phase only.
-  void apply_churn(
-      std::size_t t,
-      const std::function<void(const alarms::SpatialAlarm&)>& install,
-      const std::function<void(alarms::AlarmId)>& remove);
+  /// The one run path: builds a `shards`-shard cluster over the store,
+  /// wires the link and strategy, and replays the trace through the
+  /// TickPipeline.
+  RunResult run_impl(const StrategyFactory& factory, std::size_t shards,
+                     std::size_t threads);
 
   mobility::PositionSource& source_;
   alarms::AlarmStore& store_;
@@ -144,6 +156,7 @@ class Simulation {
   std::uint64_t channel_seed_ = 0;
   std::optional<failover::FailoverConfig> failover_config_;
   std::uint64_t failover_seed_ = 0;
+  TickPipeline::PhaseObserver phase_observer_;
 };
 
 }  // namespace salarm::sim

@@ -1,0 +1,105 @@
+// The one tick loop (DESIGN.md §11).
+//
+// TickPipeline owns the ordered serial phases that run between parallel
+// ticks and the per-shard subscriber fan-out. Every execution mode runs
+// through it: Simulation::run is the {shards = 1, threads = 1} degenerate
+// case (a one-shard cluster over the same per-shard sim::Server engine)
+// and Simulation::run_sharded is the general one — there is no separate
+// monolithic loop, so every tier added here (and every future one) works
+// in both modes by construction.
+//
+// Serial phase order per tick, after the trace steps (each phase only runs
+// when its tier is armed):
+//
+//   1. failover begin   crash/recovery windows scheduled for this tick
+//   2. churn            due alarm installs / removes / TTL expiries
+//   3. due checkpoints  periodic durable shard checkpoints
+//   4. graveyard        tomb compaction vs the pending-stamp watermark
+//   5. channel          link outage bookkeeping + reconnect flushes
+//   6. subscribers      parallel per-shard fan-out of the strategy
+//
+// The order is load-bearing: churn must see the tick's final shard up/down
+// picture (1 before 2), checkpoints must capture the tick's churn (2
+// before 3), reconnect flushes must evaluate against post-churn alarm
+// state (2 before 5), and no worker thread may start until every serial
+// phase is done (6 last). A PhaseObserver can watch the sequence; the
+// phase-ordering test pins it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cluster/parallel_executor.h"
+#include "cluster/sharded_server.h"
+#include "dynamics/churn.h"
+#include "failover/crash_plan.h"
+#include "mobility/position_source.h"
+#include "net/link.h"
+#include "strategies/strategy.h"
+
+namespace salarm::sim {
+
+/// Serial phases of one tick, in the order they run.
+enum class TickPhase {
+  kFailoverBegin,  ///< crashes/recoveries applied (failover armed only)
+  kChurn,          ///< due alarm installs/removes (churn enabled only)
+  kCheckpoints,    ///< periodic durability sweep (failover armed only)
+  kGraveyard,      ///< tomb compaction (churn enabled only)
+  kChannel,        ///< outage bookkeeping + reconnect flushes (always)
+  kSubscribers,    ///< parallel per-shard subscriber fan-out (always)
+};
+
+class TickPipeline {
+ public:
+  /// Observes every phase the pipeline enters (test hook; keep it cheap —
+  /// it runs inside the serial section of every tick).
+  using PhaseObserver = std::function<void(TickPhase, std::uint64_t tick)>;
+
+  /// All references must outlive the pipeline. `scheduler` (nullable)
+  /// enables the churn phases; `crash_plan` (nullable) enables the
+  /// failover phases and must be the plan the server was armed with.
+  /// `threads` sizes the worker pool (0 = hardware concurrency); results
+  /// are bit-identical for any value.
+  TickPipeline(mobility::PositionSource& source,
+               cluster::ShardedServer& server, net::ClientLink& link,
+               strategies::ProcessingStrategy& strategy, std::size_t ticks,
+               std::size_t threads, dynamics::AlarmScheduler* scheduler,
+               const failover::CrashPlan* crash_plan,
+               PhaseObserver observer = {});
+
+  /// Replays the whole trace: the tick-0 initialization fan-out, ticks
+  /// [1, ticks) through the serial phases above, then the end-of-run
+  /// epilogue (recover still-down shards, flush still-buffered reports).
+  void run();
+
+ private:
+  void enter(TickPhase phase, std::uint64_t tick) {
+    if (observer_) observer_(phase, tick);
+  }
+
+  /// Groups subscribers by owning shard (stable subscriber order within a
+  /// group) and fans the prebuilt shard tasks over the pool. `tick` 0 is
+  /// the initialization pass.
+  void fan_out(std::uint64_t tick);
+
+  mobility::PositionSource& source_;
+  cluster::ShardedServer& server_;
+  net::ClientLink& link_;
+  strategies::ProcessingStrategy& strategy_;
+  std::size_t ticks_;
+  dynamics::AlarmScheduler* scheduler_;
+  const failover::CrashPlan* crash_plan_;
+  PhaseObserver observer_;
+
+  cluster::ParallelTickExecutor executor_;
+  /// Per-shard subscriber groups and tasks, built once and reused every
+  /// tick: groups keep their capacity across clears and the task closures
+  /// are never reallocated, so the steady-state fan-out allocates nothing.
+  std::vector<std::vector<mobility::VehicleId>> groups_;
+  std::vector<std::function<void()>> tasks_;
+  std::uint64_t current_tick_ = 0;
+};
+
+}  // namespace salarm::sim

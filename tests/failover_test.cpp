@@ -695,12 +695,38 @@ TEST(FailoverNoOpTest, UnarmedShardedRunCountsNoFailoverWork) {
   EXPECT_EQ(m.fo_buffered_reports, 0u);
 }
 
-TEST(FailoverNoOpTest, MonolithicRunRejectsAnArmedFailoverConfig) {
+// With the unified tick pipeline (DESIGN.md §11), the former monolithic
+// run mode is a one-shard cluster — so a single-server crash takes the
+// whole service down, every client degrades and buffers, and recovery
+// restores checkpoint + journal like any shard. The old engine refused
+// this configuration outright.
+TEST(SingleShardFailoverTest, MonolithicRunSurvivesCrashRecovery) {
   core::Experiment experiment(chaos_experiment_config(61));
   experiment.enable_failover(chaos_crashes(/*journal=*/true));
-  EXPECT_THROW((void)experiment.simulation().run(
-                   experiment.rect(saferegion::MotionModel(1.0, 32))),
-               PreconditionError);
+  const auto run = experiment.simulation().run(
+      experiment.rect(saferegion::MotionModel(1.0, 32)));
+  expect_perfect_chaos(run);
+  const sim::Metrics& m = run.metrics;
+  EXPECT_GT(m.fo_crashes, 0u);
+  EXPECT_EQ(m.fo_recoveries, m.fo_crashes);
+  EXPECT_GT(m.fo_checkpoints, 0u);
+  EXPECT_GT(m.fo_degraded_ticks, 0u);
+  EXPECT_GT(m.fo_buffered_reports, 0u);
+  EXPECT_EQ(m.handoff_messages, 0u);  // one shard: no boundaries to cross
+}
+
+// Journal-less single-server recovery: the redo ledger plus client
+// re-registration rebuilds the whole service's state.
+TEST(SingleShardFailoverTest, MonolithicRedoRecoveryStaysOracleExact) {
+  core::Experiment experiment(chaos_experiment_config(61));
+  experiment.enable_failover(chaos_crashes(/*journal=*/false));
+  const auto run = experiment.simulation().run(
+      experiment.rect(saferegion::MotionModel(1.0, 32)));
+  expect_perfect_chaos(run);
+  const sim::Metrics& m = run.metrics;
+  EXPECT_GT(m.fo_crashes, 0u);
+  EXPECT_EQ(m.fo_journal_records, 0u);
+  EXPECT_GT(m.fo_reregistrations, 0u);
 }
 
 // ---------------------------------------------------------------------------
